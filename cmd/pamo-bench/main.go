@@ -1,0 +1,142 @@
+// Command pamo-bench regenerates the paper's evaluation figures on the
+// simulated substrate. Each figure prints as an aligned text table whose
+// rows/series correspond to the paper's plots.
+//
+// Usage:
+//
+//	pamo-bench -fig all            # every figure (minutes)
+//	pamo-bench -fig 6 -reps 1      # one figure, fewer repetitions
+//	pamo-bench -fig ablation       # the DESIGN.md ablation suite
+//
+// Figures: 2, 3, 4, 6, 7, 8, 9, 10a, 10b, ablation, pricing, feasibility,
+// roi, noise, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"repro/internal/plot"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/pamo"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|9|10a|10b|ablation|pricing|feasibility|roi|noise|all")
+	reps := flag.Int("reps", 0, "repetitions per data point (0 = paper default)")
+	seed := flag.Uint64("seed", 2024, "base random seed")
+	fast := flag.Bool("fast", false, "shrink PaMO budgets for a quick pass")
+	svg := flag.String("svg", "", "also write SVG charts into this directory")
+	flag.Parse()
+
+	writeChart := func(name string, c *plot.Chart) {
+		if *svg == "" || c == nil {
+			return
+		}
+		if err := exp.WriteChart(*svg, name, c); err != nil {
+			fmt.Fprintf(os.Stderr, "svg %s: %v\n", name, err)
+		}
+	}
+
+	var po pamo.Options
+	if *fast {
+		po = pamo.Options{InitProfiles: 12, InitObs: 3, PrefPairs: 10, PrefPool: 12,
+			Batch: 2, MCSamples: 16, CandPool: 10, MaxIter: 5}
+	}
+
+	w := os.Stdout
+	start := time.Now()
+	run := func(name string, f func()) {
+		t0 := time.Now()
+		f()
+		fmt.Fprintf(w, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("2") {
+		run("fig2", func() { exp.Fig2(w, *seed) })
+	}
+	if want("3") {
+		run("fig3", func() {
+			exp.Fig3(w)
+			writeChart("fig3", exp.Fig3Chart())
+		})
+	}
+	if want("4") {
+		run("fig4", func() { exp.Fig4(w) })
+	}
+	var rows6 []exp.Fig6Row
+	var rows7 []exp.Fig7Row
+	if want("6") {
+		run("fig6", func() {
+			rows6 = exp.Fig6(w, exp.Fig6Config{Reps: *reps, Seed: *seed, PaMOOpt: po})
+		})
+	}
+	if want("7") {
+		run("fig7", func() {
+			rows7 = exp.Fig7(w, exp.Fig7Config{Reps: *reps, Seed: *seed, PaMOOpt: po})
+		})
+	}
+	if len(rows6)+len(rows7) > 0 {
+		exp.Headline(w, rows6, rows7)
+		for i, c := range exp.Fig6Charts(rows6) {
+			writeChart(fmt.Sprintf("fig6_%d", i), c)
+		}
+		for i, c := range exp.Fig7Charts(rows7) {
+			writeChart(fmt.Sprintf("fig7_%d", i), c)
+		}
+	}
+	if want("8") {
+		run("fig8", func() {
+			writeChart("fig8", exp.Fig8Chart(exp.Fig8(w, exp.Fig8Config{Reps: *reps, Seed: *seed})))
+		})
+	}
+	if want("9") {
+		run("fig9", func() {
+			writeChart("fig9", exp.Fig9Chart(exp.Fig9(w, exp.Fig9Config{Reps: *reps, Seed: *seed})))
+		})
+	}
+	if want("10a") {
+		run("fig10a", func() {
+			writeChart("fig10a", exp.Fig10aChart(exp.Fig10a(w, exp.Fig10aConfig{Seed: *seed, PaMOOpt: po})))
+		})
+	}
+	if want("10b") {
+		run("fig10b", func() {
+			writeChart("fig10b", exp.Fig10bChart(exp.Fig10b(w, exp.Fig10bConfig{Seed: *seed, PaMOOpt: po})))
+		})
+	}
+	if want("ablation") {
+		run("ablation", func() {
+			exp.AblationAcq(w, exp.AblationAcqConfig{Reps: *reps, Seed: *seed, PaMOOpt: po})
+			exp.AblationAcq(w, exp.AblationAcqConfig{Reps: *reps, Noise: 0.1, Seed: *seed, PaMOOpt: po})
+			exp.AblationEUBO(w, nil, *reps, *seed)
+			exp.AblationZeroJitter(w, 8, 5, *seed)
+			exp.AblationHungarian(w, 8, 5, *seed)
+		})
+	}
+	if want("pricing") {
+		run("pricing", func() {
+			exp.Pricing(w, exp.PricingConfig{Reps: *reps, Seed: *seed, PaMOOpt: po})
+		})
+	}
+	if want("feasibility") {
+		run("feasibility", func() {
+			exp.Feasibility(w, exp.FeasibilityConfig{Seed: *seed})
+		})
+	}
+	if want("roi") {
+		run("roi", func() {
+			exp.ROI(w, exp.ROIConfig{Reps: *reps, Seed: *seed, PaMOOpt: po})
+		})
+	}
+	if want("noise") {
+		run("noise", func() {
+			writeChart("noise", exp.NoiseChart(exp.NoiseSensitivity(w, exp.NoiseConfig{Reps: *reps, Seed: *seed, PaMOOpt: po})))
+		})
+	}
+	fmt.Fprintf(w, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,50 @@
+// Command pamo-profile dumps the profiling surfaces of the simulated video
+// clips (the data behind the paper's Figure 2) as CSV, optionally with
+// measurement noise, for external plotting or model fitting.
+//
+// Usage:
+//
+//	pamo-profile -clips 2 -seed 2024 > surfaces.csv
+//	pamo-profile -noisy -samples 5    # repeated noisy measurements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/videosim"
+)
+
+func main() {
+	clips := flag.Int("clips", 2, "number of clips to profile")
+	seed := flag.Uint64("seed", 2024, "random seed")
+	noisy := flag.Bool("noisy", false, "emit noisy profiler measurements instead of ground truth")
+	samples := flag.Int("samples", 1, "measurements per configuration (with -noisy)")
+	link := flag.Float64("link", 100e6, "link bandwidth for the latency column (bits/s)")
+	flag.Parse()
+
+	w := os.Stdout
+	fmt.Fprintln(w, "clip,resolution,fps,map,latency_s,bandwidth_bps,compute_tflops,power_w")
+	prof := videosim.NewProfiler(0.02, stats.NewRNG(*seed+1))
+	for _, clip := range videosim.StandardClips(*clips, *seed) {
+		for _, r := range videosim.Resolutions {
+			for _, s := range videosim.FrameRates {
+				cfg := videosim.Config{Resolution: r, FPS: s}
+				if *noisy {
+					for k := 0; k < *samples; k++ {
+						m := prof.Measure(clip, cfg)
+						lat := m.ProcTime + m.Bits / *link
+						fmt.Fprintf(w, "%s,%g,%g,%.4f,%.5f,%.0f,%.3f,%.3f\n",
+							clip.Name, r, s, m.Acc, lat, m.Bandwidth, m.Compute, m.Power)
+					}
+				} else {
+					lat := clip.ProcTime(r) + clip.BitsPerFrame(r) / *link
+					fmt.Fprintf(w, "%s,%g,%g,%.4f,%.5f,%.0f,%.3f,%.3f\n",
+						clip.Name, r, s, clip.Accuracy(cfg), lat, clip.Bandwidth(cfg), clip.Compute(cfg), clip.Power(cfg))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command pamo-sched runs one scheduling decision end to end: it builds a
+// simulated EVA system, runs the selected scheduler (pamo, pamo+, jcab,
+// fact), and prints the decision and its measured outcomes as JSON.
+//
+// Usage:
+//
+//	pamo-sched -videos 8 -servers 5 -method pamo -seed 7
+//	pamo-sched -method jcab -weights 1,2,1,1,0.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/eva"
+	"repro/internal/exp"
+	"repro/internal/objective"
+	"repro/internal/pamo"
+	"repro/internal/pref"
+	"repro/internal/stats"
+)
+
+type output struct {
+	Method     string             `json:"method"`
+	Videos     int                `json:"videos"`
+	Servers    int                `json:"servers"`
+	Configs    []configJSON       `json:"configs"`
+	Assignment []int              `json:"assignment"`
+	Outcomes   map[string]float64 `json:"outcomes"`
+	Benefit    float64            `json:"benefit"`
+	MaxJitter  float64            `json:"max_jitter_s"`
+}
+
+type configJSON struct {
+	Video      string  `json:"video"`
+	Resolution float64 `json:"resolution"`
+	FPS        float64 `json:"fps"`
+}
+
+func main() {
+	videos := flag.Int("videos", 8, "number of video sources")
+	servers := flag.Int("servers", 5, "number of edge servers")
+	method := flag.String("method", "pamo", "pamo | pamo+ | jcab | fact")
+	seed := flag.Uint64("seed", 1, "random seed")
+	weights := flag.String("weights", "1,1,1,1,1", "true preference weights: latency,accuracy,network,compute,energy")
+	flag.Parse()
+
+	truth := objective.UniformPreference()
+	for i, part := range strings.Split(*weights, ",") {
+		if i >= objective.K {
+			break
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad weight %q: %v\n", part, err)
+			os.Exit(1)
+		}
+		truth.W[i] = v
+	}
+
+	sys := exp.NewSystem(*videos, *servers, *seed)
+	norm := objective.NewNormalizer(sys)
+
+	var dec eva.Decision
+	var err error
+	switch *method {
+	case "pamo":
+		dm := &pref.Oracle{Pref: truth, Rng: stats.NewRNG(*seed)}
+		var res *pamo.Result
+		res, err = pamo.New(sys, dm, pamo.Options{Seed: *seed, UseEUBO: true}).Run()
+		if err == nil {
+			dec = res.Best.Decision
+		}
+	case "pamo+":
+		var res *pamo.Result
+		res, err = pamo.New(sys, nil, pamo.Options{Seed: *seed, UseTruePref: true, TruePref: truth}).Run()
+		if err == nil {
+			dec = res.Best.Decision
+		}
+	case "jcab":
+		dec, err = baselines.JCAB(sys, baselines.JCABOptions{
+			WAcc: truth.W[objective.Accuracy], WEng: truth.W[objective.Energy], Seed: *seed})
+	case "fact":
+		dec, err = baselines.FACT(sys, baselines.FACTOptions{
+			WLat: truth.W[objective.Latency], WAcc: truth.W[objective.Accuracy], Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", *method, err)
+		os.Exit(1)
+	}
+
+	out := eva.Evaluate(sys, dec)
+	nv := norm.Normalize(out)
+	o := output{
+		Method:     *method,
+		Videos:     *videos,
+		Servers:    *servers,
+		Assignment: dec.Assign,
+		Outcomes:   map[string]float64{},
+		Benefit:    truth.Benefit(nv),
+		MaxJitter:  eva.MaxJitter(sys, dec),
+	}
+	for i, cfg := range dec.Configs {
+		o.Configs = append(o.Configs, configJSON{
+			Video: sys.Clips[i].Name, Resolution: cfg.Resolution, FPS: cfg.FPS})
+	}
+	for k := 0; k < objective.K; k++ {
+		o.Outcomes[objective.Names[k]] = out[k]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command pamo-trace records and replays profiling traces.
+//
+//	pamo-trace -record -videos 8 -servers 5 -per-cfg 3 -o trace.json
+//	pamo-trace -summary -i trace.json
+//	pamo-trace -run -i trace.json        # run PaMO off the recorded trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eva"
+	"repro/internal/exp"
+	"repro/internal/objective"
+	"repro/internal/pamo"
+	"repro/internal/pref"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/videosim"
+)
+
+func main() {
+	record := flag.Bool("record", false, "record a new trace")
+	summary := flag.Bool("summary", false, "print a trace summary")
+	runPamo := flag.Bool("run", false, "run PaMO with profiling replayed from the trace")
+	videos := flag.Int("videos", 8, "videos to record")
+	servers := flag.Int("servers", 5, "servers to record")
+	perCfg := flag.Int("per-cfg", 3, "measurements per configuration")
+	seed := flag.Uint64("seed", 2024, "seed")
+	in := flag.String("i", "trace.json", "input trace path")
+	out := flag.String("o", "trace.json", "output trace path")
+	flag.Parse()
+
+	switch {
+	case *record:
+		sys := exp.NewSystem(*videos, *servers, *seed)
+		prof := videosim.NewProfiler(0.02, stats.NewRNG(*seed+1))
+		tr := trace.Record(sys, prof, *perCfg)
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		fatalIf(tr.Save(f))
+		fmt.Printf("recorded %d samples (%d clips × %d configs × %d reps) to %s\n",
+			len(tr.Samples), len(tr.Clips),
+			len(videosim.Resolutions)*len(videosim.FrameRates), *perCfg, *out)
+
+	case *summary:
+		tr := load(*in)
+		fmt.Printf("trace v%d: %d clips, %d servers, %d samples\n",
+			tr.Version, len(tr.Clips), len(tr.Uplinks), len(tr.Samples))
+		for _, c := range tr.Clips {
+			fmt.Printf("  %-10s acc=%.2f compute=%.2f bits=%.2f energy=%.2f\n",
+				c.Name, c.AccFactor, c.ComputeFac, c.BitFac, c.EnergyFac)
+		}
+
+	case *runPamo:
+		tr := load(*in)
+		sys := tr.System()
+		truth := objective.UniformPreference()
+		dm := &pref.Oracle{Pref: truth, Rng: stats.NewRNG(*seed)}
+		res, err := pamo.New(sys, dm, pamo.Options{
+			Seed: *seed, UseEUBO: true, Measurer: trace.NewReplayer(tr),
+		}).Run()
+		fatalIf(err)
+		outv := eva.Evaluate(sys, res.Best.Decision)
+		norm := objective.NewNormalizer(sys)
+		fmt.Printf("PaMO on trace: benefit=%.4f iters=%d\n",
+			truth.Benefit(norm.Normalize(outv)), res.Iters)
+		for i, cfg := range res.Best.Decision.Configs {
+			fmt.Printf("  %-10s res=%4.0f fps=%2.0f\n", sys.Clips[i].Name, cfg.Resolution, cfg.FPS)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	tr, err := trace.Load(f)
+	fatalIf(err)
+	return tr
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one command into a temp dir and returns the binary path.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdPamoProfile(t *testing.T) {
+	bin := buildCmd(t, "pamo-profile")
+	out := run(t, bin, "-clips", "1")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+42 { // header + 7×6 grid
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "clip,resolution,fps") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Deterministic across runs.
+	if out2 := run(t, bin, "-clips", "1"); out2 != out {
+		t.Fatal("pamo-profile not deterministic")
+	}
+}
+
+func TestCmdPamoSchedJSON(t *testing.T) {
+	bin := buildCmd(t, "pamo-sched")
+	out := run(t, bin, "-videos", "4", "-servers", "3", "-method", "jcab", "-weights", "1,2,1,1,0.5")
+	var payload struct {
+		Method   string             `json:"method"`
+		Configs  []json.RawMessage  `json:"configs"`
+		Outcomes map[string]float64 `json:"outcomes"`
+		Benefit  float64            `json:"benefit"`
+	}
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if payload.Method != "jcab" || len(payload.Configs) != 4 {
+		t.Fatalf("payload: %+v", payload)
+	}
+	if payload.Outcomes["accuracy"] <= 0 || payload.Benefit >= 0 {
+		t.Fatalf("outcomes: %+v benefit %v", payload.Outcomes, payload.Benefit)
+	}
+}
+
+func TestCmdPamoBenchSingleFigure(t *testing.T) {
+	bin := buildCmd(t, "pamo-bench")
+	out := run(t, bin, "-fig", "4")
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "harmonic") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCmdPamoTraceRoundTrip(t *testing.T) {
+	bin := buildCmd(t, "pamo-trace")
+	path := filepath.Join(t.TempDir(), "t.json")
+	out := run(t, bin, "-record", "-videos", "2", "-servers", "2", "-per-cfg", "1", "-o", path)
+	if !strings.Contains(out, "recorded") {
+		t.Fatalf("record output: %s", out)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file: %v", err)
+	}
+	sum := run(t, bin, "-summary", "-i", path)
+	if !strings.Contains(sum, "2 clips, 2 servers") {
+		t.Fatalf("summary: %s", sum)
+	}
+}

@@ -1,0 +1,209 @@
+package acq
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/prefgp"
+	"repro/internal/stats"
+)
+
+// gaussSampler is an analytic test sampler: independent Gaussian benefit at
+// each point with mean = -(x[0]-2)² and std sigma.
+type gaussSampler struct{ sigma float64 }
+
+func (g gaussSampler) meanAt(p []float64) float64 { d := p[0] - 2; return -d * d }
+
+func (g gaussSampler) SampleBenefit(points [][]float64, nSamples int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, nSamples)
+	for s := range out {
+		row := make([]float64, len(points))
+		for i, p := range points {
+			row[i] = g.meanAt(p) + g.sigma*rng.NormFloat64()
+		}
+		out[s] = row
+	}
+	return out
+}
+
+func TestQNEIPrefersImprovingCandidates(t *testing.T) {
+	s := gaussSampler{sigma: 0.05}
+	rng := stats.NewRNG(1)
+	obs := [][]float64{{0}, {0.5}} // benefit -4, -2.25
+	good := [][]float64{{2}}       // benefit 0 — big improvement
+	bad := [][]float64{{-1}}       // benefit -9 — no improvement
+	vGood := QNEI(s, good, obs, 4000, rng)
+	vBad := QNEI(s, bad, obs, 4000, rng)
+	if vGood < 1.5 {
+		t.Fatalf("qNEI(good) = %v, want ≈ 2.25", vGood)
+	}
+	if vBad > 0.01 {
+		t.Fatalf("qNEI(bad) = %v, want ≈ 0", vBad)
+	}
+}
+
+func TestQNEIBatchAtLeastSingle(t *testing.T) {
+	s := gaussSampler{sigma: 0.3}
+	obs := [][]float64{{1}}
+	single := QNEI(s, [][]float64{{1.8}}, obs, 6000, stats.NewRNG(2))
+	batch := QNEI(s, [][]float64{{1.8}, {2.2}}, obs, 6000, stats.NewRNG(2))
+	if batch+0.02 < single {
+		t.Fatalf("batch qNEI %v < single qNEI %v", batch, single)
+	}
+}
+
+func TestQNEIEmptyObsFallsBackToQSR(t *testing.T) {
+	s := gaussSampler{sigma: 0.01}
+	rng := stats.NewRNG(3)
+	cand := [][]float64{{2}}
+	v := QNEI(s, cand, nil, 2000, rng)
+	if math.Abs(v-0) > 0.01 { // mean benefit at x=2 is 0
+		t.Fatalf("qNEI no-obs = %v", v)
+	}
+}
+
+func TestQNEIEmptyCand(t *testing.T) {
+	s := gaussSampler{sigma: 0.1}
+	if v := QNEI(s, nil, [][]float64{{0}}, 100, stats.NewRNG(4)); v != 0 {
+		t.Fatalf("empty cand qNEI = %v", v)
+	}
+}
+
+func TestQEIAgainstClosedForm(t *testing.T) {
+	// Single candidate, Gaussian N(mu, s²), incumbent best: EI has the
+	// closed form s·(u·Φ(u) + φ(u)), u = (mu-best)/s.
+	sampler := gaussSampler{sigma: 0.7}
+	best := -1.0
+	mu := sampler.meanAt([]float64{1.5}) // -0.25
+	u := (mu - best) / 0.7
+	want := 0.7 * (u*stats.NormCDF(u) + stats.NormPDF(u))
+	got := QEI(sampler, [][]float64{{1.5}}, best, 200000, stats.NewRNG(5))
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("qEI = %v, closed form %v", got, want)
+	}
+}
+
+func TestAnalyticEI(t *testing.T) {
+	// Degenerate σ: improvement is deterministic.
+	if got := AnalyticEI(2, 0, 1); got != 1 {
+		t.Fatalf("deterministic EI = %v", got)
+	}
+	if got := AnalyticEI(0, 0, 1); got != 0 {
+		t.Fatalf("deterministic no-improvement EI = %v", got)
+	}
+	// Far-below candidates have ~0 EI; far-above ≈ mu − best.
+	if got := AnalyticEI(-10, 1, 0); got > 1e-6 {
+		t.Fatalf("hopeless EI = %v", got)
+	}
+	if got := AnalyticEI(10, 1, 0); math.Abs(got-10) > 1e-6 {
+		t.Fatalf("sure-thing EI = %v", got)
+	}
+	// Monotone in mu.
+	if AnalyticEI(0.5, 1, 0) <= AnalyticEI(-0.5, 1, 0) {
+		t.Fatal("EI not monotone in mean")
+	}
+	// MC agreement (same setup as TestQEIAgainstClosedForm).
+	sampler := gaussSampler{sigma: 0.7}
+	mu := sampler.meanAt([]float64{1.5})
+	want := AnalyticEI(mu, 0.7, -1)
+	got := QEI(sampler, [][]float64{{1.5}}, -1, 200000, stats.NewRNG(55))
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("qEI %v vs analytic %v", got, want)
+	}
+}
+
+func TestQSRMatchesMeanOfMax(t *testing.T) {
+	sampler := gaussSampler{sigma: 0.0001}
+	got := QSR(sampler, [][]float64{{0}, {2}, {3}}, 500, stats.NewRNG(6))
+	if math.Abs(got-0) > 0.01 { // max mean benefit is 0 at x=2
+		t.Fatalf("qSR = %v", got)
+	}
+}
+
+func TestQUCBIncreasesWithBeta(t *testing.T) {
+	sampler := gaussSampler{sigma: 0.5}
+	cand := [][]float64{{1.0}, {2.5}}
+	lo := QUCB(sampler, cand, 0.1, 8000, stats.NewRNG(7))
+	hi := QUCB(sampler, cand, 4.0, 8000, stats.NewRNG(7))
+	if hi <= lo {
+		t.Fatalf("qUCB not increasing in beta: %v vs %v", lo, hi)
+	}
+}
+
+func TestQUCBEmptyCand(t *testing.T) {
+	if v := QUCB(gaussSampler{}, nil, 1, 10, stats.NewRNG(8)); !math.IsInf(v, -1) {
+		t.Fatalf("empty qUCB = %v", v)
+	}
+}
+
+func buildPrefModel(t *testing.T) *prefgp.Model {
+	t.Helper()
+	m := prefgp.NewModel(kernel.NewRBF(2), 0.05)
+	rng := stats.NewRNG(9)
+	util := func(y []float64) float64 { return y[0] + 2*y[1] }
+	var pts [][]float64
+	for i := 0; i < 20; i++ {
+		y := []float64{rng.Float64(), rng.Float64()}
+		pts = append(pts, y)
+		m.AddPoint(y)
+	}
+	for v := 0; v < 10; v++ {
+		a, b := 2*v, 2*v+1
+		if util(pts[a]) >= util(pts[b]) {
+			_ = m.AddComparison(a, b)
+		} else {
+			_ = m.AddComparison(b, a)
+		}
+	}
+	if err := m.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEUBOBasicProperties(t *testing.T) {
+	m := buildPrefModel(t)
+	y1 := []float64{0.9, 0.9}
+	y2 := []float64{0.1, 0.1}
+	e := EUBO(m, y1, y2)
+	mu1, _ := m.PredictOne(y1)
+	mu2, _ := m.PredictOne(y2)
+	// E[max] is at least the max of the means.
+	if e < math.Max(mu1, mu2)-1e-9 {
+		t.Fatalf("EUBO %v < max mean %v", e, math.Max(mu1, mu2))
+	}
+	// Symmetry.
+	if e2 := EUBO(m, y2, y1); math.Abs(e-e2) > 1e-6 {
+		t.Fatalf("EUBO asymmetric: %v vs %v", e, e2)
+	}
+}
+
+func TestSelectEUBOPair(t *testing.T) {
+	m := buildPrefModel(t)
+	cands := [][]float64{{0.1, 0.1}, {0.5, 0.5}, {0.95, 0.95}, {0.9, 0.1}}
+	i, j, v := SelectEUBOPair(m, cands)
+	if i < 0 || j <= i || j >= len(cands) {
+		t.Fatalf("invalid pair (%d, %d)", i, j)
+	}
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("EUBO value %v", v)
+	}
+	// The returned pair must actually achieve the max over all pairs.
+	for a := 0; a < len(cands); a++ {
+		for b := a + 1; b < len(cands); b++ {
+			if e := EUBO(m, cands[a], cands[b]); e > v+1e-12 {
+				t.Fatalf("pair (%d,%d) EUBO %v beats returned %v", a, b, e, v)
+			}
+		}
+	}
+}
+
+func TestSelectEUBOPairTooFewCandidates(t *testing.T) {
+	m := buildPrefModel(t)
+	i, j, _ := SelectEUBOPair(m, [][]float64{{0.5, 0.5}})
+	if i != -1 || j != -1 {
+		t.Fatalf("expected (-1, -1), got (%d, %d)", i, j)
+	}
+}

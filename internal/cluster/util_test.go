@@ -1,0 +1,16 @@
+package cluster
+
+import "math/rand/v2"
+
+func newRng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xABCDEF))
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcmInt(a, b int) int { return a / gcdInt(a, b) * b }

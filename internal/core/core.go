@@ -1,0 +1,42 @@
+// Package core is the paper's primary contribution — the PaMO
+// preference-aware multi-objective Bayesian-optimization scheduler
+// (Algorithm 2) — under the canonical name prescribed by the repository
+// layout. The implementation lives in repro/internal/pamo together with
+// its outcome models and solution search; this package re-exports the
+// public surface so code that navigates by layout finds the contribution
+// here.
+package core
+
+import (
+	"repro/internal/objective"
+	"repro/internal/pamo"
+	"repro/internal/pref"
+)
+
+// Re-exported types of the PaMO scheduler.
+type (
+	// Scheduler is the PaMO scheduler instance.
+	Scheduler = pamo.Scheduler
+	// Options tunes a PaMO run.
+	Options = pamo.Options
+	// Result is the output of a PaMO run.
+	Result = pamo.Result
+	// Observation is one evaluated full-system configuration.
+	Observation = pamo.Observation
+	// Acquisition selects the acquisition function.
+	Acquisition = pamo.Acquisition
+)
+
+// Acquisition function choices (the paper's qNEI plus ablation variants).
+const (
+	QNEI = pamo.QNEI
+	QEI  = pamo.QEI
+	QUCB = pamo.QUCB
+	QSR  = pamo.QSR
+)
+
+// New builds a PaMO scheduler for the system; dm answers the pairwise
+// preference comparisons (ignored for the PaMO+ variant).
+func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
+	return pamo.New(sys, dm, opt)
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/objective"
+	"repro/internal/pref"
+	"repro/internal/videosim"
+)
+
+func TestCoreAliasRunsPaMO(t *testing.T) {
+	sys := &objective.System{
+		Clips: videosim.StandardClips(4, 3),
+		Servers: []cluster.Server{
+			{Uplink: 10e6}, {Uplink: 20e6}, {Uplink: 30e6},
+		},
+	}
+	truth := objective.UniformPreference()
+	s := New(sys, &pref.Oracle{Pref: truth}, Options{
+		InitProfiles: 10, InitObs: 2, PrefPairs: 6, PrefPool: 8,
+		Batch: 2, MCSamples: 8, CandPool: 6, MaxIter: 2,
+		Acq: QNEI, Seed: 4, UseEUBO: true,
+	})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Decision.Configs == nil {
+		t.Fatal("no decision")
+	}
+}

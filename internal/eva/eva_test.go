@@ -1,0 +1,151 @@
+package eva
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/objective"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/videosim"
+)
+
+func sys(m, n int) *objective.System {
+	servers := make([]cluster.Server, n)
+	for j := range servers {
+		servers[j] = cluster.Server{Uplink: float64(10+5*j) * 1e6}
+	}
+	return &objective.System{Clips: videosim.StandardClips(m, 23), Servers: servers}
+}
+
+func midCfgs(m int) []videosim.Config {
+	cfgs := make([]videosim.Config, m)
+	for i := range cfgs {
+		cfgs[i] = videosim.Config{Resolution: 1000, FPS: 10}
+	}
+	return cfgs
+}
+
+func TestBuildStreamsSplitsHighRate(t *testing.T) {
+	s := sys(2, 2)
+	cfgs := []videosim.Config{
+		{Resolution: 2000, FPS: 30}, // s·p ≈ 2.1 → split
+		{Resolution: 500, FPS: 5},
+	}
+	streams := BuildStreams(s, cfgs)
+	if len(streams) <= 2 {
+		t.Fatalf("expected splitting, got %d streams", len(streams))
+	}
+	var subs int
+	for _, st := range streams {
+		if st.Video == 0 {
+			subs++
+			if st.Proc > st.Period.Float()+1e-12 {
+				t.Fatalf("sub-stream still self-queues: p=%v T=%v", st.Proc, st.Period.Float())
+			}
+		}
+	}
+	if subs < 2 {
+		t.Fatalf("video 0 split into %d", subs)
+	}
+}
+
+func TestBuildStreamsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildStreams(sys(2, 1), midCfgs(3))
+}
+
+func TestEvaluateMatchesAnalyticWhenUncontended(t *testing.T) {
+	s := sys(3, 3)
+	cfgs := midCfgs(3)
+	streams := BuildStreams(s, cfgs)
+	plan, err := sched.Schedule(streams, s.Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]cluster.StreamSpec, len(streams))
+	for i, st := range streams {
+		specs[i] = cluster.StreamSpec{Period: st.Period.Float(), Proc: st.Proc, Bits: st.Bits}
+	}
+	offsets := make([]float64, len(streams))
+	for g, members := range plan.Groups {
+		if len(members) == 0 {
+			continue
+		}
+		sub := make([]cluster.StreamSpec, len(members))
+		for k, si := range members {
+			sub[k] = specs[si]
+		}
+		sub = cluster.ZeroJitterOffsets(sub, s.Servers[plan.GroupServer[g]].Uplink)
+		for k, si := range members {
+			offsets[si] = sub[k].Offset
+		}
+	}
+	d := Decision{Configs: cfgs, Streams: streams, Assign: plan.StreamServer, Offsets: offsets, ZeroJit: true}
+	measured := Evaluate(s, d)
+	analytic := AnalyticOutcomes(s, d)
+	// Zero-jitter plan → DES latency equals the analytic Eq. 5 latency.
+	if math.Abs(measured[objective.Latency]-analytic[objective.Latency]) > 1e-6 {
+		t.Fatalf("measured latency %v vs analytic %v", measured[objective.Latency], analytic[objective.Latency])
+	}
+	for _, k := range []objective.Objective{objective.Accuracy, objective.Network, objective.Compute, objective.Energy} {
+		if measured[k] != analytic[k] {
+			t.Fatalf("%s differs: %v vs %v", objective.Names[k], measured[k], analytic[k])
+		}
+	}
+	if MaxJitter(s, d) > cluster.JitterEps {
+		t.Fatal("zero-jitter plan jittered in simulation")
+	}
+}
+
+func TestEvaluatePenalizesContention(t *testing.T) {
+	s := sys(4, 2)
+	cfgs := make([]videosim.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = videosim.Config{Resolution: 2000, FPS: 30} // heavy
+	}
+	streams := BuildStreams(s, cfgs)
+	// Pile everything on server 0 with random offsets: contention city.
+	assign := make([]int, len(streams))
+	rng := stats.NewRNG(1)
+	bad := Decision{Configs: cfgs, Streams: streams, Assign: assign, Offsets: RandomOffsets(streams, rng)}
+	measured := Evaluate(s, bad)
+	analytic := AnalyticOutcomes(s, bad)
+	if measured[objective.Latency] < 2*analytic[objective.Latency] {
+		t.Fatalf("contended latency %v not ≫ analytic %v", measured[objective.Latency], analytic[objective.Latency])
+	}
+}
+
+func TestRandomOffsetsWithinPeriod(t *testing.T) {
+	s := sys(3, 2)
+	streams := BuildStreams(s, midCfgs(3))
+	offs := RandomOffsets(streams, stats.NewRNG(2))
+	for i, o := range offs {
+		if o < 0 || o >= streams[i].Period.Float() {
+			t.Fatalf("offset %v outside [0, %v)", o, streams[i].Period.Float())
+		}
+	}
+}
+
+func TestConfigGridSize(t *testing.T) {
+	grid := ConfigGrid()
+	want := len(videosim.Resolutions) * len(videosim.FrameRates)
+	if len(grid) != want {
+		t.Fatalf("grid size %d, want %d", len(grid), want)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	s := sys(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate(s, Decision{Configs: midCfgs(1), Streams: BuildStreams(s, midCfgs(1)), Assign: nil})
+}

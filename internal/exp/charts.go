@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/objective"
+	"repro/internal/plot"
+)
+
+// WriteChart renders a chart to <dir>/<name>.svg.
+func WriteChart(dir, name string, c *plot.Chart) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.SVG(f)
+}
+
+// Fig3Chart plots the contended stream's per-frame latency (Figure 3a).
+func Fig3Chart() *plot.Chart {
+	lat := Fig3Timeline()
+	x := make([]float64, len(lat))
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return &plot.Chart{
+		Title:  "Figure 3(a): latency accumulation under contention",
+		XLabel: "frame index (10 fps stream)",
+		YLabel: "end-to-end latency (s)",
+		Series: []plot.Series{{Name: "video2", X: x, Y: lat}},
+	}
+}
+
+// Fig6Charts builds one chart per weighted objective from Fig6 rows.
+func Fig6Charts(rows []Fig6Row) []*plot.Chart {
+	byObj := map[objective.Objective][]Fig6Row{}
+	for _, r := range rows {
+		byObj[r.Objective] = append(byObj[r.Objective], r)
+	}
+	var charts []*plot.Chart
+	for k := 0; k < objective.K; k++ {
+		group := byObj[objective.Objective(k)]
+		if len(group) == 0 {
+			continue
+		}
+		c := &plot.Chart{
+			Title:  fmt.Sprintf("Figure 6: normalized benefit vs w_%s", objective.Names[k]),
+			XLabel: "weight",
+			YLabel: "normalized benefit",
+		}
+		for mi, name := range []string{"JCAB", "FACT", "PaMO", "PaMO+"} {
+			var s plot.Series
+			s.Name = name
+			for _, r := range group {
+				s.X = append(s.X, r.Weight)
+				s.Y = append(s.Y, r.Results[mi].Norm)
+			}
+			c.Series = append(c.Series, s)
+		}
+		charts = append(charts, c)
+	}
+	return charts
+}
+
+// Fig7Charts builds the node-sweep and video-sweep charts.
+func Fig7Charts(rows []Fig7Row) []*plot.Chart {
+	nodes := &plot.Chart{
+		Title: "Figure 7: benefit vs node number (10 videos)", XLabel: "nodes", YLabel: "normalized benefit"}
+	videos := &plot.Chart{
+		Title: "Figure 7: benefit vs video number (5 servers)", XLabel: "videos", YLabel: "normalized benefit"}
+	for mi, name := range []string{"JCAB", "FACT", "PaMO", "PaMO+"} {
+		var sn, sv plot.Series
+		sn.Name, sv.Name = name, name
+		for _, r := range rows {
+			if r.Sweep == "nodes" {
+				sn.X = append(sn.X, float64(r.Nodes))
+				sn.Y = append(sn.Y, r.Results[mi].Norm)
+			} else {
+				sv.X = append(sv.X, float64(r.Videos))
+				sv.Y = append(sv.Y, r.Results[mi].Norm)
+			}
+		}
+		nodes.Series = append(nodes.Series, sn)
+		videos.Series = append(videos.Series, sv)
+	}
+	return []*plot.Chart{nodes, videos}
+}
+
+// Fig8Chart plots R² vs training size per objective model.
+func Fig8Chart(res []Fig8Result) *plot.Chart {
+	c := &plot.Chart{
+		Title: "Figure 8: outcome model R² vs training size", XLabel: "training samples", YLabel: "R²"}
+	for k, name := range Fig8Metrics {
+		var s plot.Series
+		s.Name = name
+		for _, r := range res {
+			s.X = append(s.X, float64(r.TrainSize))
+			s.Y = append(s.Y, r.R2[k])
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Fig9Chart plots preference accuracy vs comparison pairs.
+func Fig9Chart(res []Fig9Result) *plot.Chart {
+	var s plot.Series
+	s.Name = "accuracy"
+	for _, r := range res {
+		s.X = append(s.X, float64(r.Pairs))
+		s.Y = append(s.Y, r.Accuracy)
+	}
+	return &plot.Chart{
+		Title: "Figure 9: preference model accuracy", XLabel: "comparison pairs", YLabel: "pairwise accuracy",
+		Series: []plot.Series{s},
+	}
+}
+
+// Fig10aChart plots the baseline weight sensitivity for one setup.
+func Fig10aChart(rows []Fig10aRow) *plot.Chart {
+	c := &plot.Chart{
+		Title: "Figure 10(a): baseline weight sensitivity", XLabel: "internal weight", YLabel: "normalized benefit"}
+	series := map[string]*plot.Series{}
+	order := []string{"JCAB", "FACT", "PaMO", "PaMO+"}
+	for _, name := range order {
+		series[name] = &plot.Series{Name: name}
+	}
+	for _, r := range rows {
+		series["JCAB"].X = append(series["JCAB"].X, r.Weight)
+		series["JCAB"].Y = append(series["JCAB"].Y, r.JCAB)
+		series["FACT"].X = append(series["FACT"].X, r.Weight)
+		series["FACT"].Y = append(series["FACT"].Y, r.FACT)
+		series["PaMO"].X = append(series["PaMO"].X, r.Weight)
+		series["PaMO"].Y = append(series["PaMO"].Y, r.PaMO)
+		series["PaMO+"].X = append(series["PaMO+"].X, r.Weight)
+		series["PaMO+"].Y = append(series["PaMO+"].Y, r.PaMOPlus)
+	}
+	for _, name := range order {
+		c.Series = append(c.Series, *series[name])
+	}
+	return c
+}
+
+// Fig10bChart plots the termination-threshold sensitivity for one setup.
+func Fig10bChart(rows []Fig10bRow) *plot.Chart {
+	c := &plot.Chart{
+		Title: "Figure 10(b): termination threshold sensitivity", XLabel: "delta", YLabel: "normalized benefit"}
+	series := map[string]*plot.Series{}
+	order := []string{"JCAB", "FACT", "PaMO", "PaMO+"}
+	for _, name := range order {
+		series[name] = &plot.Series{Name: name}
+	}
+	for _, r := range rows {
+		series["JCAB"].X = append(series["JCAB"].X, r.Delta)
+		series["JCAB"].Y = append(series["JCAB"].Y, r.JCAB)
+		series["FACT"].X = append(series["FACT"].X, r.Delta)
+		series["FACT"].Y = append(series["FACT"].Y, r.FACT)
+		series["PaMO"].X = append(series["PaMO"].X, r.Delta)
+		series["PaMO"].Y = append(series["PaMO"].Y, r.PaMO)
+		series["PaMO+"].X = append(series["PaMO+"].X, r.Delta)
+		series["PaMO+"].Y = append(series["PaMO+"].Y, r.PaMOPlus)
+	}
+	for _, name := range order {
+		c.Series = append(c.Series, *series[name])
+	}
+	return c
+}
+
+// NoiseChart plots PaMO's benefit vs profiling noise.
+func NoiseChart(rows []NoiseRow) *plot.Chart {
+	var s plot.Series
+	s.Name = "PaMO"
+	for _, r := range rows {
+		s.X = append(s.X, r.Noise)
+		s.Y = append(s.Y, r.Benefit)
+	}
+	return &plot.Chart{
+		Title: "Sensitivity: benefit vs profiling noise", XLabel: "relative noise std", YLabel: "true benefit",
+		Series: []plot.Series{s},
+	}
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/videosim"
+)
+
+// clipGPs are the five per-clip outcome GPs used by the Figure 8
+// experiment, trained on noisy profiling data with standardized targets.
+type clipGPs struct {
+	gps    [5]*gp.GP
+	scales [5]float64
+}
+
+func encodeCfg(c videosim.Config) []float64 {
+	rLo := videosim.Resolutions[0]
+	rHi := videosim.Resolutions[len(videosim.Resolutions)-1]
+	sLo := videosim.FrameRates[0]
+	sHi := videosim.FrameRates[len(videosim.FrameRates)-1]
+	return []float64{
+		(c.Resolution - rLo) / (rHi - rLo),
+		(c.FPS - sLo) / (sHi - sLo),
+	}
+}
+
+// newTrainedClipGPs profiles the clip at n random grid configurations and
+// fits the five outcome GPs (latency=per-frame processing time, accuracy,
+// bandwidth, computation, energy).
+func newTrainedClipGPs(clip *videosim.Clip, prof *videosim.Profiler, n int, rng *rand.Rand) *clipGPs {
+	xs := make([][]float64, 0, n)
+	ys := [5][]float64{}
+	for i := 0; i < n; i++ {
+		cfg := videosim.Config{
+			Resolution: videosim.Resolutions[rng.IntN(len(videosim.Resolutions))],
+			FPS:        videosim.FrameRates[rng.IntN(len(videosim.FrameRates))],
+		}
+		m := prof.Measure(clip, cfg)
+		xs = append(xs, encodeCfg(cfg))
+		vals := []float64{m.ProcTime, m.Acc, m.Bandwidth, m.Compute, m.Power}
+		for k := range ys {
+			ys[k] = append(ys[k], vals[k])
+		}
+	}
+	out := &clipGPs{}
+	for k := 0; k < 5; k++ {
+		sd := stdOf(ys[k])
+		if sd < 1e-12 {
+			sd = 1
+		}
+		out.scales[k] = sd
+		scaled := make([]float64, len(ys[k]))
+		for i, y := range ys[k] {
+			scaled[i] = y / sd
+		}
+		kn := kernel.NewMatern52(2)
+		p := kn.LogParams()
+		p[1], p[2] = math.Log(0.4), math.Log(0.4)
+		kn.SetLogParams(p)
+		g := gp.New(kn, 1e-3)
+		if err := g.Fit(xs, scaled); err != nil {
+			panic(err)
+		}
+		out.gps[k] = g
+	}
+	return out
+}
+
+// predict returns the five posterior means (physical units) at cfg.
+func (c *clipGPs) predict(cfg videosim.Config) [5]float64 {
+	var out [5]float64
+	x := encodeCfg(cfg)
+	for k := 0; k < 5; k++ {
+		mu, _ := c.gps[k].Predict(x)
+		out[k] = mu * c.scales[k]
+	}
+	return out
+}
+
+func stdOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

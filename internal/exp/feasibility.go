@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// FeasibilityConfig parameterizes the heuristic-vs-exact grouping study.
+type FeasibilityConfig struct {
+	Instances int // random instances per (m, n) cell (default 200)
+	Seed      uint64
+}
+
+// FeasibilityRow summarizes one (streams, servers) cell.
+type FeasibilityRow struct {
+	Streams, Servers int
+	BothFeasible     int
+	ExactOnly        int // exact feasible, heuristic rejected (Theorem 3 gap)
+	BothInfeasible   int
+	HeurOnly         int // must stay 0: heuristic ⊆ exact
+	HeurNanos        int64
+	ExactNanos       int64
+}
+
+// Feasibility measures how often Algorithm 1's Theorem-3 grouping rejects
+// instances that are actually Const2-feasible (found by the exact
+// branch-and-bound), and the runtime gap between the two. This quantifies
+// the price of the paper's polynomial-time heuristic.
+func Feasibility(w io.Writer, cfg FeasibilityConfig) []FeasibilityRow {
+	if cfg.Instances == 0 {
+		cfg.Instances = 200
+	}
+	fpsChoices := []int64{5, 6, 10, 15, 25, 30}
+	cells := [][2]int{{4, 2}, {6, 3}, {8, 4}, {10, 5}}
+	t := Table{
+		Title:  "Heuristic (Algorithm 1) vs exact Const2 grouping — feasibility and runtime",
+		Header: []string{"streams", "servers", "both_feasible", "exact_only", "both_infeasible", "heur_only", "heur_us", "exact_us"},
+	}
+	var rows []FeasibilityRow
+	for _, cell := range cells {
+		m, n := cell[0], cell[1]
+		row := FeasibilityRow{Streams: m, Servers: n}
+		rng := stats.NewRNG(cfg.Seed + uint64(m*100+n))
+		for inst := 0; inst < cfg.Instances; inst++ {
+			streams := make([]sched.Stream, m)
+			for i := range streams {
+				fps := fpsChoices[rng.IntN(len(fpsChoices))]
+				period := sched.RatFromFPS(fps)
+				streams[i] = sched.Stream{
+					Video:  i,
+					Period: period,
+					// 5–40% of the own-period budget: a mix of feasible and
+					// infeasible instances once several streams share a
+					// group's gcd budget.
+					Proc: period.Float() * (0.05 + 0.35*rng.Float64()),
+					Bits: 1e5,
+				}
+			}
+			t0 := time.Now()
+			_, hErr := sched.GroupStreams(streams, n)
+			row.HeurNanos += time.Since(t0).Nanoseconds()
+			t0 = time.Now()
+			_, exOK := sched.ExactGroup(streams, n)
+			row.ExactNanos += time.Since(t0).Nanoseconds()
+			switch {
+			case hErr == nil && exOK:
+				row.BothFeasible++
+			case hErr == nil && !exOK:
+				row.HeurOnly++
+			case hErr != nil && exOK:
+				row.ExactOnly++
+			default:
+				row.BothInfeasible++
+			}
+		}
+		rows = append(rows, row)
+		inst := float64(cfg.Instances)
+		t.Add(m, n, row.BothFeasible, row.ExactOnly, row.BothInfeasible, row.HeurOnly,
+			float64(row.HeurNanos)/1e3/inst, float64(row.ExactNanos)/1e3/inst)
+	}
+	t.Notes = append(t.Notes,
+		"heur_only must be 0 (Theorem 3 ⊆ Const2); exact_only is the feasibility the heuristic gives up for polynomial time")
+	t.Fprint(w)
+	return rows
+}

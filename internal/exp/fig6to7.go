@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/objective"
+	"repro/internal/pamo"
+)
+
+// Fig6Config parameterizes the preference-sweep experiment.
+type Fig6Config struct {
+	Videos  int       // paper: 8
+	Servers int       // paper: 5
+	Weights []float64 // paper: {0.2, 0.4, 1.6, 3.2}
+	Reps    int       // paper: 3
+	Seed    uint64
+	PaMOOpt pamo.Options
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	if c.Videos == 0 {
+		c.Videos = 8
+	}
+	if c.Servers == 0 {
+		c.Servers = 5
+	}
+	if len(c.Weights) == 0 {
+		c.Weights = []float64{0.2, 0.4, 1.6, 3.2}
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	return c
+}
+
+// Fig6Row is one (objective, weight) cell of Figure 6.
+type Fig6Row struct {
+	Objective objective.Objective
+	Weight    float64
+	Results   []MethodResult
+}
+
+// Fig6 reproduces Figure 6: normalized benefit of JCAB/FACT/PaMO/PaMO+
+// across preference functions built by setting one objective's weight to
+// each value in Weights (others stay 1), plus the per-objective benefit
+// ratio of the PaMO solution.
+func Fig6(w io.Writer, cfg Fig6Config) []Fig6Row {
+	cfg = cfg.withDefaults()
+	sys := NewSystem(cfg.Videos, cfg.Servers, cfg.Seed)
+	t := Table{
+		Title: fmt.Sprintf("Figure 6 — normalized benefit across preference functions (%d videos, %d servers, %d reps)",
+			cfg.Videos, cfg.Servers, cfg.Reps),
+		Header: []string{"weighted_obj", "w", "JCAB", "FACT", "PaMO", "PaMO+", "PaMO±std"},
+	}
+	ratio := Table{
+		Title:  "Figure 6 (shades) — benefit ratio of the PaMO solution by objective",
+		Header: []string{"weighted_obj", "w", "latency", "accuracy", "network", "compute", "energy"},
+	}
+	var rows []Fig6Row
+	for k := 0; k < objective.K; k++ {
+		for _, wv := range cfg.Weights {
+			truth := objective.UniformPreference()
+			truth.W[k] = wv
+			res := averageRuns(sys, MethodsConfig{
+				Truth:   truth,
+				Seed:    cfg.Seed + uint64(k*100) + uint64(wv*10),
+				PaMOOpt: cfg.PaMOOpt,
+			}, cfg.Reps)
+			rows = append(rows, Fig6Row{Objective: objective.Objective(k), Weight: wv, Results: res})
+			t.Add(objective.Names[k], wv, res[0].Norm, res[1].Norm, res[2].Norm, res[3].Norm, res[2].NormStd)
+			r := res[2].Ratio
+			ratio.Add(objective.Names[k], wv, r[0], r[1], r[2], r[3], r[4])
+		}
+	}
+	t.Notes = append(t.Notes, "normalized benefit: 1.0 = PaMO+ (true preference), 0 = worst-case floor (footnote 2)")
+	t.Fprint(w)
+	ratio.Fprint(w)
+	return rows
+}
+
+// Fig7Config parameterizes the scale-sweep experiment.
+type Fig7Config struct {
+	Nodes   []int // paper: 5..9 with 10 videos
+	Videos  []int // paper: 7..11 with 5 servers
+	Reps    int
+	Seed    uint64
+	PaMOOpt pamo.Options
+}
+
+func (c Fig7Config) withDefaults() Fig7Config {
+	if len(c.Nodes) == 0 {
+		c.Nodes = []int{5, 6, 7, 8, 9}
+	}
+	if len(c.Videos) == 0 {
+		c.Videos = []int{7, 8, 9, 10, 11}
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	return c
+}
+
+// Fig7Row is one scale point of Figure 7. Sweep is "nodes" for the
+// fixed-videos sweep and "videos" for the fixed-servers sweep.
+type Fig7Row struct {
+	Nodes, Videos int
+	Sweep         string
+	Results       []MethodResult
+}
+
+// Fig7 reproduces Figure 7: normalized benefit for varying server count
+// (10 videos) and varying video count (5 servers), uniform preference.
+func Fig7(w io.Writer, cfg Fig7Config) []Fig7Row {
+	cfg = cfg.withDefaults()
+	truth := objective.UniformPreference()
+	var rows []Fig7Row
+
+	t1 := Table{
+		Title:  "Figure 7 (left) — normalized benefit vs node number (10 videos)",
+		Header: []string{"nodes", "JCAB", "FACT", "PaMO", "PaMO+", "PaMO±std"},
+	}
+	for _, n := range cfg.Nodes {
+		sys := NewSystem(10, n, cfg.Seed+uint64(n))
+		res := averageRuns(sys, MethodsConfig{Truth: truth, Seed: cfg.Seed + uint64(n)*7, PaMOOpt: cfg.PaMOOpt}, cfg.Reps)
+		rows = append(rows, Fig7Row{Nodes: n, Videos: 10, Sweep: "nodes", Results: res})
+		t1.Add(n, res[0].Norm, res[1].Norm, res[2].Norm, res[3].Norm, res[2].NormStd)
+	}
+	t1.Fprint(w)
+
+	t2 := Table{
+		Title:  "Figure 7 (right) — normalized benefit vs video number (5 servers)",
+		Header: []string{"videos", "JCAB", "FACT", "PaMO", "PaMO+", "PaMO±std"},
+	}
+	for _, m := range cfg.Videos {
+		sys := NewSystem(m, 5, cfg.Seed+uint64(100+m))
+		res := averageRuns(sys, MethodsConfig{Truth: truth, Seed: cfg.Seed + uint64(m)*13, PaMOOpt: cfg.PaMOOpt}, cfg.Reps)
+		rows = append(rows, Fig7Row{Nodes: 5, Videos: m, Sweep: "videos", Results: res})
+		t2.Add(m, res[0].Norm, res[1].Norm, res[2].Norm, res[3].Norm, res[2].NormStd)
+	}
+	t2.Fprint(w)
+	return rows
+}

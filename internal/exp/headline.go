@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"io"
+	"math"
+)
+
+// HeadlineStats reproduces the paper's §5.2 headline numbers: the range of
+// PaMO's relative benefit improvement over each baseline, and its relative
+// gap to PaMO+, computed across the cells of Figures 6 and 7.
+type HeadlineStats struct {
+	VsJCABMin, VsJCABMax float64 // percent improvement over JCAB
+	VsFACTMin, VsFACTMax float64 // percent improvement over FACT
+	GapToPlusMax         float64 // percent shortfall vs PaMO+ (worst cell)
+	Cells                int
+}
+
+// Headline aggregates Fig6 and Fig7 rows. The paper reports up to 53.9%
+// over JCAB, up to 26.5% over FACT, and errors of 0.0006%–11.26% vs PaMO+.
+func Headline(w io.Writer, fig6 []Fig6Row, fig7 []Fig7Row) HeadlineStats {
+	h := HeadlineStats{
+		VsJCABMin: math.Inf(1), VsJCABMax: math.Inf(-1),
+		VsFACTMin: math.Inf(1), VsFACTMax: math.Inf(-1),
+	}
+	consume := func(results []MethodResult) {
+		var jcab, fact, pamo, plus *MethodResult
+		for i := range results {
+			switch results[i].Name {
+			case "JCAB":
+				jcab = &results[i]
+			case "FACT":
+				fact = &results[i]
+			case "PaMO":
+				pamo = &results[i]
+			case "PaMO+":
+				plus = &results[i]
+			}
+		}
+		if pamo == nil || pamo.Err != nil {
+			return
+		}
+		h.Cells++
+		if jcab != nil && jcab.Err == nil && jcab.Norm > 0 {
+			imp := 100 * (pamo.Norm - jcab.Norm) / jcab.Norm
+			h.VsJCABMin = math.Min(h.VsJCABMin, imp)
+			h.VsJCABMax = math.Max(h.VsJCABMax, imp)
+		}
+		if fact != nil && fact.Err == nil && fact.Norm > 0 {
+			imp := 100 * (pamo.Norm - fact.Norm) / fact.Norm
+			h.VsFACTMin = math.Min(h.VsFACTMin, imp)
+			h.VsFACTMax = math.Max(h.VsFACTMax, imp)
+		}
+		if plus != nil && plus.Err == nil && plus.Norm > 0 {
+			gap := 100 * (plus.Norm - pamo.Norm) / plus.Norm
+			h.GapToPlusMax = math.Max(h.GapToPlusMax, gap)
+		}
+	}
+	for _, r := range fig6 {
+		consume(r.Results)
+	}
+	for _, r := range fig7 {
+		consume(r.Results)
+	}
+
+	t := Table{
+		Title:  "Headline (§5.2) — PaMO's relative benefit across all Fig. 6 + Fig. 7 cells",
+		Header: []string{"comparison", "min_%", "max_%"},
+	}
+	t.Add("PaMO vs JCAB", h.VsJCABMin, h.VsJCABMax)
+	t.Add("PaMO vs FACT", h.VsFACTMin, h.VsFACTMax)
+	t.Add("shortfall vs PaMO+", 0.0, h.GapToPlusMax)
+	t.Notes = append(t.Notes, "paper: up to 53.9% over JCAB, up to 26.5% over FACT, ≤ 11.26% below PaMO+")
+	t.Fprint(w)
+	return h
+}

@@ -1,0 +1,92 @@
+// Package exp contains the experiment runners that regenerate every figure
+// of the paper's evaluation (Section 5) on the simulated substrate, plus
+// the ablation studies called out in DESIGN.md. Each runner returns
+// structured results and can render an aligned text table.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row; values are formatted with %v (floats via %.4g).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Fmarkdown renders the table as GitHub-flavored markdown.
+func (t *Table) Fmarkdown(w io.Writer) {
+	fmt.Fprintf(w, "\n### %s\n\n", t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+}

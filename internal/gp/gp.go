@@ -1,0 +1,249 @@
+// Package gp implements exact Gaussian process regression: Cholesky-based
+// fitting, predictive means/variances, joint posterior sampling (needed by
+// the Monte-Carlo batch acquisition functions), and marginal-likelihood
+// hyperparameter optimization.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/optim"
+)
+
+const log2Pi = 1.8378770664093453
+
+// GP is an exact Gaussian process regressor with a constant (empirical)
+// mean function and homoscedastic observation noise.
+type GP struct {
+	Kern     kernel.Kernel
+	NoiseVar float64 // observation noise variance σₙ²
+
+	x     [][]float64
+	y     mat.Vector // raw targets
+	mean  float64    // constant mean subtracted before solving
+	chol  *mat.Cholesky
+	alpha mat.Vector // (K+σₙ²I)⁻¹ (y - mean)
+}
+
+// New returns an unfitted GP with the given kernel and noise variance.
+func New(k kernel.Kernel, noiseVar float64) *GP {
+	if noiseVar <= 0 {
+		noiseVar = 1e-6
+	}
+	return &GP{Kern: k, NoiseVar: noiseVar}
+}
+
+// ErrNotFitted is returned by methods that require a prior Fit call.
+var ErrNotFitted = errors.New("gp: model is not fitted")
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.x) }
+
+// X returns the training inputs (not a copy).
+func (g *GP) X() [][]float64 { return g.x }
+
+// Y returns the training targets (not a copy).
+func (g *GP) Y() []float64 { return g.y }
+
+// Fit conditions the GP on inputs xs and targets ys. It replaces any
+// previous training data.
+func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("gp: %d inputs vs %d targets", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return errors.New("gp: empty training set")
+	}
+	for i, x := range xs {
+		if len(x) != g.Kern.Dim() {
+			return fmt.Errorf("gp: input %d has dim %d, kernel wants %d", i, len(x), g.Kern.Dim())
+		}
+	}
+	g.x = xs
+	g.y = mat.Vector(ys).Clone()
+	g.mean = g.y.Mean()
+	return g.refactor()
+}
+
+// refactor recomputes the Cholesky factor and alpha for the current data
+// and hyperparameters.
+func (g *GP) refactor() error {
+	n := len(g.x)
+	k := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.Kern.Eval(g.x[i], g.x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k.AddScaledEye(g.NoiseVar)
+	c, err := mat.CholJitter(k)
+	if err != nil {
+		return fmt.Errorf("gp: covariance factorization: %w", err)
+	}
+	g.chol = c
+	resid := g.y.Clone()
+	for i := range resid {
+		resid[i] -= g.mean
+	}
+	g.alpha = c.SolveVec(resid)
+	return nil
+}
+
+// Predict returns the posterior mean and variance of the latent function at
+// x. The variance excludes observation noise.
+func (g *GP) Predict(x []float64) (mu, variance float64) {
+	if g.chol == nil {
+		panic(ErrNotFitted)
+	}
+	n := len(g.x)
+	ks := mat.NewVector(n)
+	for i := range g.x {
+		ks[i] = g.Kern.Eval(g.x[i], x)
+	}
+	mu = g.mean + ks.Dot(g.alpha)
+	v := mat.ForwardSolve(g.chol.L, ks)
+	variance = g.Kern.Eval(x, x) - v.Dot(v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mu, variance
+}
+
+// PredictBatch returns the joint posterior mean vector and covariance
+// matrix of the latent function at the query points.
+func (g *GP) PredictBatch(xs [][]float64) (mu mat.Vector, cov *mat.Matrix) {
+	if g.chol == nil {
+		panic(ErrNotFitted)
+	}
+	n, q := len(g.x), len(xs)
+	// Cross-covariances: Ks is n×q.
+	ks := mat.NewMatrix(n, q)
+	for i := 0; i < n; i++ {
+		for j := 0; j < q; j++ {
+			ks.Set(i, j, g.Kern.Eval(g.x[i], xs[j]))
+		}
+	}
+	// V = L⁻¹·Ks (n×q), computed column-wise.
+	v := mat.NewMatrix(n, q)
+	col := mat.NewVector(n)
+	mu = mat.NewVector(q)
+	for j := 0; j < q; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = ks.At(i, j)
+		}
+		sol := mat.ForwardSolve(g.chol.L, col)
+		for i := 0; i < n; i++ {
+			v.Set(i, j, sol[i])
+		}
+		mu[j] = g.mean + col.Dot(g.alpha)
+	}
+	// cov = K** - VᵀV.
+	cov = mat.NewMatrix(q, q)
+	for a := 0; a < q; a++ {
+		for b := a; b < q; b++ {
+			s := g.Kern.Eval(xs[a], xs[b])
+			for i := 0; i < n; i++ {
+				s -= v.At(i, a) * v.At(i, b)
+			}
+			cov.Set(a, b, s)
+			cov.Set(b, a, s)
+		}
+	}
+	return mu, cov
+}
+
+// SampleJoint draws nSamples correlated samples from the joint posterior at
+// xs. The result is nSamples×len(xs).
+func (g *GP) SampleJoint(xs [][]float64, nSamples int, rng *rand.Rand) [][]float64 {
+	mu, cov := g.PredictBatch(xs)
+	return SampleMVN(mu, cov, nSamples, rng)
+}
+
+// SampleMVN draws nSamples vectors from N(mu, cov) using a jittered
+// Cholesky factor. A covariance that is numerically singular (common for
+// posterior covariances at nearly-duplicated points) is handled by the
+// jitter; if factorization still fails the deterministic mean is returned
+// for every sample.
+func SampleMVN(mu mat.Vector, cov *mat.Matrix, nSamples int, rng *rand.Rand) [][]float64 {
+	q := len(mu)
+	out := make([][]float64, nSamples)
+	c, err := mat.CholJitter(cov.Clone())
+	for s := 0; s < nSamples; s++ {
+		row := make([]float64, q)
+		copy(row, mu)
+		if err == nil {
+			z := mat.NewVector(q)
+			for i := range z {
+				z[i] = rng.NormFloat64()
+			}
+			for i := 0; i < q; i++ {
+				var acc float64
+				for j := 0; j <= i; j++ {
+					acc += c.L.At(i, j) * z[j]
+				}
+				row[i] += acc
+			}
+		}
+		out[s] = row
+	}
+	return out
+}
+
+// LogMarginalLikelihood returns log p(y | X, θ) under the current
+// hyperparameters.
+func (g *GP) LogMarginalLikelihood() float64 {
+	if g.chol == nil {
+		panic(ErrNotFitted)
+	}
+	n := float64(len(g.x))
+	resid := g.y.Clone()
+	for i := range resid {
+		resid[i] -= g.mean
+	}
+	return -0.5*resid.Dot(g.alpha) - 0.5*g.chol.LogDet() - 0.5*n*log2Pi
+}
+
+// OptimizeHyperparams maximizes the log marginal likelihood over the
+// kernel's log-parameters and the log noise variance using multi-start
+// Nelder–Mead. The GP must already be fitted; on return it is refitted with
+// the best hyperparameters found.
+func (g *GP) OptimizeHyperparams(nStarts int, rng *rand.Rand) error {
+	if g.chol == nil {
+		return ErrNotFitted
+	}
+	kp := g.Kern.LogParams()
+	x0 := append(append([]float64(nil), kp...), math.Log(g.NoiseVar))
+
+	obj := func(p []float64) float64 {
+		for _, v := range p {
+			// Keep the optimizer inside a numerically sane box.
+			if v < -12 || v > 8 {
+				return math.Inf(1)
+			}
+		}
+		g.Kern.SetLogParams(p[:len(p)-1])
+		g.NoiseVar = math.Exp(p[len(p)-1])
+		if err := g.refactor(); err != nil {
+			return math.Inf(1)
+		}
+		return -g.LogMarginalLikelihood()
+	}
+
+	res := optim.MultiStartNelderMead(obj, x0, nStarts, 1.5, rng, optim.NelderMeadOptions{MaxIters: 250 * len(x0), TolF: 1e-7, TolX: 1e-4})
+	if math.IsInf(res.F, 1) {
+		// Restore the original parameters; nothing better was found.
+		g.Kern.SetLogParams(x0[:len(x0)-1])
+		g.NoiseVar = math.Exp(x0[len(x0)-1])
+		return g.refactor()
+	}
+	g.Kern.SetLogParams(res.X[:len(res.X)-1])
+	g.NoiseVar = math.Exp(res.X[len(res.X)-1])
+	return g.refactor()
+}

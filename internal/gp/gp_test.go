@@ -1,0 +1,252 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+func TestFitValidation(t *testing.T) {
+	g := New(kernel.NewRBF(1), 1e-4)
+	if err := g.Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if err := g.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := g.Fit([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}
+
+func TestPredictUnfittedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(kernel.NewRBF(1), 1e-4).Predict([]float64{0})
+}
+
+func TestInterpolationAtTrainingPoints(t *testing.T) {
+	// With tiny noise, the posterior mean at a training point is ~ the
+	// target and the variance is ~ 0.
+	xs := [][]float64{{0}, {1}, {2}, {3}}
+	ys := []float64{0, 1, 4, 9}
+	g := New(kernel.NewRBF(1), 1e-8)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mu, v := g.Predict(x)
+		if math.Abs(mu-ys[i]) > 1e-3 {
+			t.Errorf("mean at training point %v = %v, want %v", x, mu, ys[i])
+		}
+		if v > 1e-3 {
+			t.Errorf("variance at training point %v = %v", x, v)
+		}
+	}
+}
+
+func TestPosteriorRevertsToPriorFarAway(t *testing.T) {
+	xs := [][]float64{{0}, {0.1}}
+	ys := []float64{5, 5.1}
+	g := New(kernel.NewRBF(1), 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	mu, v := g.Predict([]float64{100})
+	// Far away: mean reverts to empirical mean, variance to kernel variance.
+	if math.Abs(mu-5.05) > 1e-6 {
+		t.Errorf("far mean = %v, want 5.05", mu)
+	}
+	if math.Abs(v-1) > 1e-6 {
+		t.Errorf("far variance = %v, want 1", v)
+	}
+}
+
+func TestGPRecoversSmootheFunction(t *testing.T) {
+	rng := stats.NewRNG(3)
+	f := func(x float64) float64 { return math.Sin(3*x) + 0.5*x }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 40; i++ {
+		x := rng.Float64() * 4
+		xs = append(xs, []float64{x})
+		ys = append(ys, f(x)+0.01*rng.NormFloat64())
+	}
+	g := New(kernel.NewMatern52(1), 1e-3)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.OptimizeHyperparams(3, rng); err != nil {
+		t.Fatal(err)
+	}
+	var obs, pred []float64
+	for i := 0; i < 50; i++ {
+		x := 0.05 + float64(i)*(3.9/50)
+		mu, _ := g.Predict([]float64{x})
+		obs = append(obs, f(x))
+		pred = append(pred, mu)
+	}
+	if r2 := stats.R2(obs, pred); r2 < 0.98 {
+		t.Fatalf("R² = %v, want > 0.98", r2)
+	}
+}
+
+func TestARDHyperoptFindsIrrelevantDimension(t *testing.T) {
+	// y depends only on x₀; after hyperparameter optimization the
+	// lengthscale of the irrelevant x₁ should be clearly longer.
+	rng := stats.NewRNG(21)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		xs = append(xs, []float64{x0, x1})
+		ys = append(ys, math.Sin(6*x0)+0.02*rng.NormFloat64())
+	}
+	g := New(kernel.NewMatern52(2), 1e-3)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.OptimizeHyperparams(4, rng); err != nil {
+		t.Fatal(err)
+	}
+	p := g.Kern.LogParams() // [log σ², log ℓ₀, log ℓ₁]
+	if p[2] < p[1] {
+		t.Fatalf("ARD failed: relevant ℓ=%.3f, irrelevant ℓ=%.3f",
+			math.Exp(p[1]), math.Exp(p[2]))
+	}
+}
+
+func TestLogMarginalLikelihoodImproves(t *testing.T) {
+	rng := stats.NewRNG(5)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 25; i++ {
+		x := float64(i) / 5
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Cos(2*x)+0.05*rng.NormFloat64())
+	}
+	g := New(kernel.NewRBF(1), 0.5) // deliberately bad noise guess
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	before := g.LogMarginalLikelihood()
+	if err := g.OptimizeHyperparams(4, rng); err != nil {
+		t.Fatal(err)
+	}
+	after := g.LogMarginalLikelihood()
+	if after < before {
+		t.Fatalf("LML degraded: %v -> %v", before, after)
+	}
+	if g.NoiseVar > 0.1 {
+		t.Errorf("optimizer kept noise at %v despite low-noise data", g.NoiseVar)
+	}
+}
+
+func TestPredictBatchConsistentWithPredict(t *testing.T) {
+	rng := stats.NewRNG(7)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 15; i++ {
+		xs = append(xs, []float64{rng.Float64() * 3, rng.Float64() * 3})
+		ys = append(ys, xs[i][0]*xs[i][1])
+	}
+	g := New(kernel.NewMatern52(2), 1e-4)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	qs := [][]float64{{0.5, 0.5}, {1.5, 2.0}, {2.9, 0.1}}
+	mu, cov := g.PredictBatch(qs)
+	for i, q := range qs {
+		m, v := g.Predict(q)
+		if math.Abs(mu[i]-m) > 1e-9 {
+			t.Errorf("batch mean[%d] = %v, pointwise %v", i, mu[i], m)
+		}
+		if math.Abs(cov.At(i, i)-v) > 1e-9 {
+			t.Errorf("batch var[%d] = %v, pointwise %v", i, cov.At(i, i), v)
+		}
+	}
+	if d := cov.SymmetricMaxAbsOffDiag(); d > 1e-12 {
+		t.Errorf("posterior covariance asymmetry %v", d)
+	}
+}
+
+func TestSampleJointMatchesPosterior(t *testing.T) {
+	rng := stats.NewRNG(11)
+	xs := [][]float64{{0}, {1}, {2}}
+	ys := []float64{0, 1, 0}
+	g := New(kernel.NewRBF(1), 1e-4)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	qs := [][]float64{{0.5}, {1.5}}
+	mu, cov := g.PredictBatch(qs)
+	samples := g.SampleJoint(qs, 20000, rng)
+	for j := 0; j < len(qs); j++ {
+		col := make([]float64, len(samples))
+		for i, s := range samples {
+			col[i] = s[j]
+		}
+		if m := stats.Mean(col); math.Abs(m-mu[j]) > 0.02 {
+			t.Errorf("sample mean[%d] = %v, posterior %v", j, m, mu[j])
+		}
+		if v := stats.Variance(col); math.Abs(v-cov.At(j, j)) > 0.02 {
+			t.Errorf("sample var[%d] = %v, posterior %v", j, v, cov.At(j, j))
+		}
+	}
+}
+
+func TestSampleMVNDegenerateCovariance(t *testing.T) {
+	rng := stats.NewRNG(13)
+	mu := mat.Vector{1, 2}
+	cov := mat.NewMatrix(2, 2) // exactly singular (zero) covariance
+	samples := SampleMVN(mu, cov, 5, rng)
+	for _, s := range samples {
+		// With zero covariance the samples collapse to (almost) the mean;
+		// jitter adds at most ~1e-2 noise in pathological cases.
+		if math.Abs(s[0]-1) > 0.1 || math.Abs(s[1]-2) > 0.1 {
+			t.Fatalf("degenerate sample = %v", s)
+		}
+	}
+}
+
+func BenchmarkGPFit100(b *testing.B) {
+	rng := stats.NewRNG(17)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, []float64{rng.Float64(), rng.Float64()})
+		ys = append(ys, rng.NormFloat64())
+	}
+	g := New(kernel.NewMatern52(2), 1e-3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPPredict(b *testing.B) {
+	rng := stats.NewRNG(19)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		xs = append(xs, []float64{rng.Float64(), rng.Float64()})
+		ys = append(ys, rng.NormFloat64())
+	}
+	g := New(kernel.NewMatern52(2), 1e-3)
+	if err := g.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.3, 0.7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Predict(q)
+	}
+}

@@ -1,0 +1,58 @@
+package gp
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// LeaveOneOut returns the leave-one-out predictive mean and variance for
+// every training point using the standard closed form (Rasmussen &
+// Williams, Eq. 5.10–5.12):
+//
+//	μᵢ = yᵢ − αᵢ / [K⁻¹]ᵢᵢ,   σᵢ² = 1 / [K⁻¹]ᵢᵢ,
+//
+// where K here includes the observation noise. The variances include
+// observation noise (they are predictive for the observed targets).
+func (g *GP) LeaveOneOut() (mu, variance []float64) {
+	if g.chol == nil {
+		panic(ErrNotFitted)
+	}
+	n := len(g.x)
+	kinv := g.chol.Inverse()
+	mu = make([]float64, n)
+	variance = make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := kinv.At(i, i)
+		if d <= 0 {
+			d = 1e-12
+		}
+		variance[i] = 1 / d
+		mu[i] = g.y[i] - g.alpha[i]/d
+	}
+	return mu, variance
+}
+
+// LOOLogLikelihood returns the sum of leave-one-out predictive log
+// densities — a cross-validation alternative to the marginal likelihood
+// for hyperparameter diagnostics.
+func (g *GP) LOOLogLikelihood() float64 {
+	mu, variance := g.LeaveOneOut()
+	var s float64
+	for i := range mu {
+		r := g.y[i] - mu[i]
+		s += -0.5*math.Log(2*math.Pi*variance[i]) - r*r/(2*variance[i])
+	}
+	return s
+}
+
+// StandardizedLOOResiduals returns (yᵢ − μᵢ)/σᵢ for every training point;
+// under a well-specified model these are approximately standard normal.
+func (g *GP) StandardizedLOOResiduals() mat.Vector {
+	mu, variance := g.LeaveOneOut()
+	out := mat.NewVector(len(mu))
+	for i := range mu {
+		out[i] = (g.y[i] - mu[i]) / math.Sqrt(variance[i])
+	}
+	return out
+}

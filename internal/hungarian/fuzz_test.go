@@ -1,0 +1,49 @@
+package hungarian
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolveOptimality cross-checks the Hungarian solution against brute
+// force on small random instances.
+func FuzzSolveOptimality(f *testing.F) {
+	f.Add(uint64(1), 3, 3)
+	f.Add(uint64(7), 2, 4)
+	f.Add(uint64(99), 5, 5)
+	f.Fuzz(func(t *testing.T, seed uint64, n, m int) {
+		n = 1 + absInt(n)%5
+		m = n + absInt(m)%3
+		rng := seed
+		next := func() float64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return float64((rng>>33)%1000) / 100
+		}
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = next()
+			}
+		}
+		assign, total := Solve(cost)
+		seen := map[int]bool{}
+		for _, j := range assign {
+			if j < 0 || j >= m || seen[j] {
+				t.Fatalf("invalid assignment %v", assign)
+			}
+			seen[j] = true
+		}
+		_, want := bruteForce(cost)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("total %v, brute force %v (cost %v)", total, want, cost)
+		}
+	})
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

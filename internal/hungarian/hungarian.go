@@ -1,0 +1,110 @@
+// Package hungarian implements the O(n³) Hungarian (Kuhn–Munkres) algorithm
+// for the linear assignment problem, in the potentials/shortest-augmenting-
+// path formulation. Algorithm 1 of the paper uses it to map stream groups to
+// edge servers while minimizing total transmission latency.
+package hungarian
+
+import "math"
+
+// Solve assigns each of the n rows of cost to a distinct column (cost must
+// be n×m with m ≥ n) minimizing the total cost. It returns the column index
+// chosen for each row and the total cost.
+//
+// Infeasible pairs can be encoded with a large-but-finite cost; +Inf entries
+// are handled by substituting a finite sentinel larger than any other cost.
+func Solve(cost [][]float64) (assign []int, total float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	if m < n {
+		panic("hungarian: need at least as many columns as rows")
+	}
+
+	// Replace +Inf with a finite sentinel so the potentials stay finite.
+	var maxFinite float64
+	for _, row := range cost {
+		if len(row) != m {
+			panic("hungarian: ragged cost matrix")
+		}
+		for _, c := range row {
+			if !math.IsInf(c, 1) && c > maxFinite {
+				maxFinite = c
+			}
+		}
+	}
+	sentinel := (maxFinite + 1) * float64(n+1)
+	at := func(i, j int) float64 {
+		c := cost[i][j]
+		if math.IsInf(c, 1) {
+			return sentinel
+		}
+		return c
+	}
+
+	// 1-indexed potentials, as in the classic e-maxx formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := at(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for i, j := range assign {
+		total += at(i, j)
+	}
+	return assign, total
+}

@@ -1,0 +1,143 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	assign, total := Solve([][]float64{{5}})
+	if len(assign) != 1 || assign[0] != 0 || total != 5 {
+		t.Fatalf("trivial: %v %v", assign, total)
+	}
+}
+
+func TestSolveKnown3x3(t *testing.T) {
+	// Classic example: optimal is (0→1, 1→0, 2→2) with cost 2+3+2... verify
+	// by brute force below instead of trusting a hand answer.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total := Solve(cost)
+	wantAssign, wantTotal := bruteForce(cost)
+	if math.Abs(total-wantTotal) > 1e-12 {
+		t.Fatalf("total = %v (assign %v), brute force = %v (%v)", total, assign, wantTotal, wantAssign)
+	}
+	checkPermutation(t, assign, 3)
+}
+
+func TestSolveRectangular(t *testing.T) {
+	// 2 rows, 4 columns: rows pick the two cheapest distinct columns.
+	cost := [][]float64{
+		{9, 9, 1, 9},
+		{9, 9, 2, 1},
+	}
+	assign, total := Solve(cost)
+	if total != 2 {
+		t.Fatalf("total = %v, want 2 (assign %v)", total, assign)
+	}
+	if assign[0] != 2 || assign[1] != 3 {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+func TestSolveInfeasiblePairs(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, 1},
+		{1, inf},
+	}
+	assign, total := Solve(cost)
+	if assign[0] != 1 || assign[1] != 0 || total != 2 {
+		t.Fatalf("assign = %v total = %v", assign, total)
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	assign, total := Solve(nil)
+	if assign != nil || total != 0 {
+		t.Fatalf("empty: %v %v", assign, total)
+	}
+}
+
+func TestSolveMoreColumnsThanRowsRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(5)
+		m := n + rng.IntN(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*100) / 10
+			}
+		}
+		assign, total := Solve(cost)
+		checkPermutation(t, assign, m)
+		_, want := bruteForce(cost)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: total %v, brute force %v (cost %v)", trial, total, want, cost)
+		}
+	}
+}
+
+func checkPermutation(t *testing.T, assign []int, m int) {
+	t.Helper()
+	seen := make(map[int]bool)
+	for _, j := range assign {
+		if j < 0 || j >= m || seen[j] {
+			t.Fatalf("assignment not injective: %v", assign)
+		}
+		seen[j] = true
+	}
+}
+
+// bruteForce enumerates all injective row→column maps.
+func bruteForce(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	m := len(cost[0])
+	bestAssign := make([]int, n)
+	best := math.Inf(1)
+	cur := make([]int, n)
+	used := make([]bool, m)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			copy(bestAssign, cur)
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] || math.IsInf(cost[i][j], 1) {
+				continue
+			}
+			used[j] = true
+			cur[i] = j
+			rec(i+1, acc+cost[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return bestAssign, best
+}
+
+func BenchmarkHungarian20x20(b *testing.B) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	cost := make([][]float64, 20)
+	for i := range cost {
+		cost[i] = make([]float64, 20)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Solve(cost)
+	}
+}

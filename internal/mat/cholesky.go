@@ -1,0 +1,161 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when Cholesky factorization fails even
+// after the maximum diagonal jitter has been applied.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ, plus the jitter that was added to the diagonal
+// to make the factorization succeed.
+type Cholesky struct {
+	L      *Matrix
+	Jitter float64
+}
+
+// Chol factorizes the symmetric positive definite matrix a. The input is not
+// modified. It fails with ErrNotPositiveDefinite if a has a non-positive
+// pivot.
+func Chol(a *Matrix) (*Cholesky, error) {
+	return cholWithJitter(a, 0)
+}
+
+// CholJitter factorizes a, progressively adding diagonal jitter
+// (1e-10·scale, ×10 each retry, up to 1e-4·scale where scale is the mean
+// diagonal) until the factorization succeeds. GP covariance matrices built
+// from nearly-duplicate inputs routinely need this.
+func CholJitter(a *Matrix) (*Cholesky, error) {
+	c, err := cholWithJitter(a, 0)
+	if err == nil {
+		return c, nil
+	}
+	scale := meanDiag(a)
+	if scale <= 0 {
+		scale = 1
+	}
+	for j := 1e-10 * scale; j <= 1e-4*scale; j *= 10 {
+		if c, err = cholWithJitter(a, j); err == nil {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (after jitter up to %g)", ErrNotPositiveDefinite, 1e-4*scale)
+}
+
+func meanDiag(a *Matrix) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		s += a.At(i, i)
+	}
+	return s / float64(a.Rows)
+}
+
+func cholWithJitter(a *Matrix, jitter float64) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("mat: Chol on non-square %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			if i == j {
+				sum += jitter
+			}
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{L: l, Jitter: jitter}, nil
+}
+
+// SolveVec solves A·x = b given A = L·Lᵀ, returning a new vector.
+func (c *Cholesky) SolveVec(b Vector) Vector {
+	y := ForwardSolve(c.L, b)
+	return BackSolveTrans(c.L, y)
+}
+
+// Solve solves A·X = B column-by-column, returning a new matrix.
+func (c *Cholesky) Solve(b *Matrix) *Matrix {
+	n := c.L.Rows
+	if b.Rows != n {
+		panic(fmt.Sprintf("mat: Cholesky Solve dims %d vs %d", n, b.Rows))
+	}
+	out := NewMatrix(n, b.Cols)
+	col := NewVector(n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.SolveVec(col)
+		for i := 0; i < n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// LogDet returns log det(A) = 2·Σ log L[i][i].
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// Inverse returns A⁻¹ as a dense matrix. Prefer SolveVec when possible; this
+// exists for the Laplace-approximation algebra that genuinely needs the
+// full inverse.
+func (c *Cholesky) Inverse() *Matrix {
+	return c.Solve(Identity(c.L.Rows))
+}
+
+// ForwardSolve solves the lower-triangular system L·y = b.
+func ForwardSolve(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: ForwardSolve dims %d vs %d", n, len(b)))
+	}
+	y := NewVector(n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Data[i*l.Cols : i*l.Cols+i]
+		for k, v := range row {
+			sum -= v * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	return y
+}
+
+// BackSolveTrans solves the upper-triangular system Lᵀ·x = y where l is
+// lower triangular.
+func BackSolveTrans(l *Matrix, y Vector) Vector {
+	n := l.Rows
+	if len(y) != n {
+		panic(fmt.Sprintf("mat: BackSolveTrans dims %d vs %d", n, len(y)))
+	}
+	x := NewVector(n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}

@@ -1,0 +1,146 @@
+package objective
+
+import "fmt"
+
+// Classical fixed-weight definitions from the multi-objective optimization
+// literature (Gunantara 2018, the paper's reference [10]). The paper argues
+// none of these can capture real pricing preferences — the ablation in
+// internal/exp quantifies that against learned preferences.
+
+// EqualWeights assigns every objective weight 1/K (scaled to sum 1).
+func EqualWeights() Preference {
+	var p Preference
+	for k := 0; k < K; k++ {
+		p.W[k] = 1.0 / K
+	}
+	return p
+}
+
+// ROCWeights returns rank-order-centroid weights for the given importance
+// ranking: ranks[k] = r means objective k is the r-th most important
+// (1-based). w(r) = (1/K)·Σ_{j=r}^{K} 1/j.
+func ROCWeights(ranks [K]int) (Preference, error) {
+	if err := validRanks(ranks); err != nil {
+		return Preference{}, err
+	}
+	var p Preference
+	for k := 0; k < K; k++ {
+		var w float64
+		for j := ranks[k]; j <= K; j++ {
+			w += 1.0 / float64(j)
+		}
+		p.W[k] = w / K
+	}
+	return p, nil
+}
+
+// RankSumWeights returns rank-sum weights for the given importance
+// ranking: w(r) = 2(K+1−r)/(K(K+1)).
+func RankSumWeights(ranks [K]int) (Preference, error) {
+	if err := validRanks(ranks); err != nil {
+		return Preference{}, err
+	}
+	var p Preference
+	for k := 0; k < K; k++ {
+		p.W[k] = 2 * float64(K+1-ranks[k]) / float64(K*(K+1))
+	}
+	return p, nil
+}
+
+// PseudoWeights computes the pseudo-weight vector of a chosen solution
+// relative to a Pareto front sample (Deb's formulation): each objective's
+// weight is its normalized distance from the worst value, renormalized to
+// sum 1. All outcomes are interpreted as minimized except Accuracy.
+func PseudoWeights(front []Vector, chosen Vector) (Preference, error) {
+	if len(front) < 2 {
+		return Preference{}, fmt.Errorf("objective: pseudo-weights need ≥ 2 front points, got %d", len(front))
+	}
+	var lo, hi Vector
+	lo = front[0]
+	hi = front[0]
+	for _, f := range front[1:] {
+		for k := 0; k < K; k++ {
+			if f[k] < lo[k] {
+				lo[k] = f[k]
+			}
+			if f[k] > hi[k] {
+				hi[k] = f[k]
+			}
+		}
+	}
+	var p Preference
+	var sum float64
+	for k := 0; k < K; k++ {
+		span := hi[k] - lo[k]
+		if span <= 0 {
+			p.W[k] = 0
+			continue
+		}
+		// Distance from the worst value, toward the best.
+		if Objective(k) == Accuracy {
+			p.W[k] = (chosen[k] - lo[k]) / span
+		} else {
+			p.W[k] = (hi[k] - chosen[k]) / span
+		}
+		sum += p.W[k]
+	}
+	if sum <= 0 {
+		return Preference{}, fmt.Errorf("objective: degenerate pseudo-weights (chosen dominates nothing)")
+	}
+	for k := 0; k < K; k++ {
+		p.W[k] /= sum
+	}
+	return p, nil
+}
+
+func validRanks(ranks [K]int) error {
+	var seen [K + 1]bool
+	for _, r := range ranks {
+		if r < 1 || r > K {
+			return fmt.Errorf("objective: rank %d outside [1, %d]", r, K)
+		}
+		if seen[r] {
+			return fmt.Errorf("objective: duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// Dominates reports whether a Pareto-dominates b: no objective worse and
+// at least one strictly better. All objectives are minimized except
+// Accuracy, which is maximized.
+func Dominates(a, b Vector) bool {
+	better := false
+	for k := 0; k < K; k++ {
+		av, bv := a[k], b[k]
+		if Objective(k) == Accuracy {
+			av, bv = -av, -bv // maximize accuracy
+		}
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			better = true
+		}
+	}
+	return better
+}
+
+// ParetoFront filters the non-dominated vectors from a set.
+func ParetoFront(points []Vector) []Vector {
+	var front []Vector
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}

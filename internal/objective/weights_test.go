@@ -1,0 +1,130 @@
+package objective
+
+import (
+	"math"
+	"testing"
+)
+
+func ranks(a, b, c, d, e int) [K]int { return [K]int{a, b, c, d, e} }
+
+func TestEqualWeights(t *testing.T) {
+	p := EqualWeights()
+	for _, w := range p.W {
+		if math.Abs(w-0.2) > 1e-15 {
+			t.Fatalf("weights = %v", p.W)
+		}
+	}
+}
+
+func TestROCWeights(t *testing.T) {
+	p, err := ROCWeights(ranks(1, 2, 3, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w(1) = (1 + 1/2 + 1/3 + 1/4 + 1/5)/5 = 0.4567
+	if math.Abs(p.W[0]-0.45666666666666667) > 1e-12 {
+		t.Fatalf("w(1) = %v", p.W[0])
+	}
+	// Weights decrease with rank and sum to 1.
+	var sum float64
+	for k := 0; k < K-1; k++ {
+		if p.W[k] <= p.W[k+1] {
+			t.Fatalf("ROC weights not decreasing: %v", p.W)
+		}
+	}
+	for _, w := range p.W {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("ROC weights sum to %v", sum)
+	}
+}
+
+func TestRankSumWeights(t *testing.T) {
+	p, err := RankSumWeights(ranks(2, 1, 3, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w(r) = 2(6−r)/30: w(1) = 1/3, w(2) = 4/15.
+	if math.Abs(p.W[1]-1.0/3) > 1e-12 || math.Abs(p.W[0]-4.0/15) > 1e-12 {
+		t.Fatalf("weights = %v", p.W)
+	}
+	var sum float64
+	for _, w := range p.W {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("rank-sum weights sum to %v", sum)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	if _, err := ROCWeights(ranks(1, 2, 3, 4, 6)); err == nil {
+		t.Error("rank out of range accepted")
+	}
+	if _, err := RankSumWeights(ranks(1, 1, 3, 4, 5)); err == nil {
+		t.Error("duplicate rank accepted")
+	}
+}
+
+func TestPseudoWeights(t *testing.T) {
+	// Accuracy is maximized; others minimized.
+	front := []Vector{
+		{0.1, 0.9, 0.8, 0.8, 0.8}, // fast+accurate but expensive
+		{0.9, 0.2, 0.1, 0.1, 0.1}, // slow+inaccurate but cheap
+	}
+	// A solution at the accurate end should weight accuracy (and the
+	// objectives where it is best) highly.
+	p, err := PseudoWeights(front, front[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range p.W {
+		if w < 0 {
+			t.Fatalf("negative pseudo-weight: %v", p.W)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("pseudo-weights sum to %v", sum)
+	}
+	if p.W[Latency] == 0 || p.W[Accuracy] == 0 {
+		t.Fatalf("chosen point is best on latency and accuracy, weights: %v", p.W)
+	}
+
+	if _, err := PseudoWeights(front[:1], front[0]); err == nil {
+		t.Error("single-point front accepted")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Vector{0.1, 0.9, 0.1, 0.1, 0.1} // better everywhere (acc higher)
+	b := Vector{0.2, 0.8, 0.2, 0.2, 0.2}
+	if !Dominates(a, b) {
+		t.Fatal("a should dominate b")
+	}
+	if Dominates(b, a) {
+		t.Fatal("b should not dominate a")
+	}
+	if Dominates(a, a) {
+		t.Fatal("no strict self-domination")
+	}
+	// Trade-off: a faster but less accurate — no domination.
+	c := Vector{0.05, 0.5, 0.1, 0.1, 0.1}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Fatal("trade-off pair must be mutually non-dominated")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	pts := []Vector{
+		{0.1, 0.9, 0.1, 0.1, 0.1}, // non-dominated
+		{0.2, 0.8, 0.2, 0.2, 0.2}, // dominated by 0
+		{0.05, 0.5, 0.1, 0.1, 0.1}, // non-dominated (faster)
+	}
+	front := ParetoFront(pts)
+	if len(front) != 2 {
+		t.Fatalf("front size %d: %v", len(front), front)
+	}
+}

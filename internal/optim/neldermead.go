@@ -1,0 +1,178 @@
+// Package optim provides the derivative-free optimizers the GP and baseline
+// layers need: Nelder–Mead simplex search (with multi-start), golden-section
+// line search, and exhaustive grid search.
+package optim
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Result is the outcome of a minimization run.
+type Result struct {
+	X     []float64
+	F     float64
+	Iters int
+}
+
+// NelderMeadOptions tunes the simplex search. Zero values select defaults.
+type NelderMeadOptions struct {
+	MaxIters int     // default 400·dim
+	TolF     float64 // simplex f-spread convergence threshold, default 1e-9
+	TolX     float64 // simplex diameter convergence threshold, default 1e-6
+	Step     float64 // initial simplex edge length, default 0.5
+}
+
+// NelderMead minimizes f starting from x0 using the standard
+// reflection/expansion/contraction/shrink simplex method.
+func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) Result {
+	d := len(x0)
+	if opt.MaxIters == 0 {
+		opt.MaxIters = 400 * d
+	}
+	if opt.TolF == 0 {
+		opt.TolF = 1e-9
+	}
+	if opt.TolX == 0 {
+		opt.TolX = 1e-6
+	}
+	if opt.Step == 0 {
+		opt.Step = 0.5
+	}
+
+	// Build the initial simplex: x0 plus a step along each axis.
+	n := d + 1
+	xs := make([][]float64, n)
+	fs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = append([]float64(nil), x0...)
+		if i > 0 {
+			xs[i][i-1] += opt.Step
+		}
+		fs[i] = f(xs[i])
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	iters := 0
+	for ; iters < opt.MaxIters; iters++ {
+		// Order the simplex.
+		order(xs, fs)
+		// Converged only when both the value spread and the simplex
+		// diameter are small: a symmetric simplex straddling the minimum
+		// has zero f-spread long before it has collapsed.
+		if fs[n-1]-fs[0] < opt.TolF && simplexDiameter(xs) < opt.TolX {
+			break
+		}
+		// Centroid of all but the worst vertex.
+		cen := make([]float64, d)
+		for i := 0; i < n-1; i++ {
+			for j := 0; j < d; j++ {
+				cen[j] += xs[i][j]
+			}
+		}
+		for j := range cen {
+			cen[j] /= float64(n - 1)
+		}
+		// Reflection.
+		xr := combine(cen, xs[n-1], 1+alpha, -alpha)
+		fr := f(xr)
+		switch {
+		case fr < fs[0]:
+			// Expansion.
+			xe := combine(cen, xs[n-1], 1+alpha*gamma, -alpha*gamma)
+			fe := f(xe)
+			if fe < fr {
+				xs[n-1], fs[n-1] = xe, fe
+			} else {
+				xs[n-1], fs[n-1] = xr, fr
+			}
+		case fr < fs[n-2]:
+			xs[n-1], fs[n-1] = xr, fr
+		default:
+			// Contraction (outside if fr better than worst, else inside).
+			var xc []float64
+			if fr < fs[n-1] {
+				xc = combine(cen, xs[n-1], 1+alpha*rho, -alpha*rho)
+			} else {
+				xc = combine(cen, xs[n-1], 1-rho, rho)
+			}
+			fc := f(xc)
+			if fc < math.Min(fr, fs[n-1]) {
+				xs[n-1], fs[n-1] = xc, fc
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i < n; i++ {
+					xs[i] = combine(xs[0], xs[i], 1-sigma, sigma)
+					fs[i] = f(xs[i])
+				}
+			}
+		}
+	}
+	order(xs, fs)
+	return Result{X: xs[0], F: fs[0], Iters: iters}
+}
+
+// simplexDiameter returns the max coordinate distance between the best
+// vertex and any other vertex.
+func simplexDiameter(xs [][]float64) float64 {
+	var d float64
+	for _, x := range xs[1:] {
+		for j, v := range x {
+			if dv := math.Abs(v - xs[0][j]); dv > d {
+				d = dv
+			}
+		}
+	}
+	return d
+}
+
+// combine returns a*x + b*y element-wise.
+func combine(x, y []float64, a, b float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = a*x[i] + b*y[i]
+	}
+	return out
+}
+
+func order(xs [][]float64, fs []float64) {
+	// Insertion sort: simplexes are tiny and nearly sorted between steps.
+	for i := 1; i < len(fs); i++ {
+		x, fv := xs[i], fs[i]
+		j := i - 1
+		for j >= 0 && fs[j] > fv {
+			xs[j+1], fs[j+1] = xs[j], fs[j]
+			j--
+		}
+		xs[j+1], fs[j+1] = x, fv
+	}
+}
+
+// MultiStartNelderMead runs NelderMead from x0 plus nStarts-1 random
+// perturbations (uniform in ±spread per coordinate) and returns the best
+// result. NaN/Inf objective values at a start are skipped.
+func MultiStartNelderMead(f func([]float64) float64, x0 []float64, nStarts int, spread float64, rng *rand.Rand, opt NelderMeadOptions) Result {
+	best := Result{F: math.Inf(1)}
+	for s := 0; s < nStarts; s++ {
+		start := append([]float64(nil), x0...)
+		if s > 0 {
+			for j := range start {
+				start[j] += spread * (2*rng.Float64() - 1)
+			}
+		}
+		if v := f(start); math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		r := NelderMead(f, start, opt)
+		if r.F < best.F {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,42 @@
+package pamo
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// MetricDiag is the leave-one-out quality of one clip's metric GP.
+type MetricDiag struct {
+	Clip   string
+	Metric string
+	N      int     // training points
+	R2     float64 // LOO coefficient of determination
+	LogLik float64 // LOO predictive log likelihood (standardized targets)
+}
+
+var metricNames = [numMetrics]string{"accuracy", "proc_time", "frame_bits", "compute", "power"}
+
+// Diagnostics reports the leave-one-out fit quality of every clip-metric
+// outcome GP — the live-system counterpart of the paper's Figure 8 check.
+// Call after Run (or at least after the profiling phase).
+func (s *Scheduler) Diagnostics() ([]MetricDiag, error) {
+	var out []MetricDiag
+	for ci, cm := range s.clips {
+		for mi, mg := range cm.m {
+			if mg.g.N() == 0 {
+				return nil, fmt.Errorf("pamo: diagnostics before profiling (clip %d)", ci)
+			}
+			mu, _ := mg.g.LeaveOneOut()
+			obs := mg.g.Y()
+			out = append(out, MetricDiag{
+				Clip:   s.sys.Clips[ci].Name,
+				Metric: metricNames[mi],
+				N:      mg.g.N(),
+				R2:     stats.R2(obs, mu),
+				LogLik: mg.g.LOOLogLikelihood(),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package pamo implements the paper's core contribution: the
+// preference-aware multi-objective Bayesian-optimization scheduler
+// (Algorithm 2). It owns per-clip Gaussian-process outcome models, the
+// preference model learned from decision-maker comparisons, the zero-jitter
+// scheduling of Algorithm 1, and the qNEI-driven solution search.
+package pamo
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/videosim"
+)
+
+// metric indexes the per-clip quantities the profiler can measure and the
+// outcome models must learn.
+type metric int
+
+const (
+	mAcc  metric = iota // mAP
+	mProc               // per-frame processing time (s)
+	mBits               // encoded frame size (bits)
+	mComp               // computing power (TFLOPS)
+	mPow                // power (W)
+	numMetrics
+)
+
+// encodeCfg maps a configuration onto the GP input space [0,1]³
+// (resolution, fps, ROI fraction — the last constant at 1 unless the ROI
+// extension is enabled).
+func encodeCfg(c videosim.Config) []float64 {
+	rLo := videosim.Resolutions[0]
+	rHi := videosim.Resolutions[len(videosim.Resolutions)-1]
+	sLo := videosim.FrameRates[0]
+	sHi := videosim.FrameRates[len(videosim.FrameRates)-1]
+	roi := c.ROI
+	if roi <= 0 || roi > 1 {
+		roi = 1
+	}
+	return []float64{
+		(c.Resolution - rLo) / (rHi - rLo),
+		(c.FPS - sLo) / (sHi - sLo),
+		roi,
+	}
+}
+
+// metricGP is a GP over the encoded configuration space with target
+// standardization, so kernel variance ≈ 1 regardless of the metric's
+// physical scale.
+type metricGP struct {
+	g     *gp.GP
+	scale float64
+	xs    [][]float64
+	ys    []float64
+}
+
+func newMetricGP() *metricGP {
+	k := kernel.NewMatern52(3)
+	p := k.LogParams()
+	p[1], p[2], p[3] = math.Log(0.4), math.Log(0.4), math.Log(0.5)
+	k.SetLogParams(p)
+	return &metricGP{g: gp.New(k, 1e-3), scale: 1}
+}
+
+// add appends one observation.
+func (m *metricGP) add(x []float64, y float64) {
+	m.xs = append(m.xs, x)
+	m.ys = append(m.ys, y)
+}
+
+// refit standardizes the targets and re-conditions the GP.
+func (m *metricGP) refit() error {
+	if len(m.xs) == 0 {
+		return fmt.Errorf("pamo: refit with no data")
+	}
+	sd := std(m.ys)
+	if sd < 1e-12 {
+		sd = math.Abs(mean(m.ys))
+		if sd < 1e-12 {
+			sd = 1
+		}
+	}
+	m.scale = sd
+	scaled := make([]float64, len(m.ys))
+	for i, y := range m.ys {
+		scaled[i] = y / sd
+	}
+	return m.g.Fit(m.xs, scaled)
+}
+
+// optimize tunes the GP hyperparameters by marginal likelihood.
+func (m *metricGP) optimize(nStarts int, rng *rand.Rand) error {
+	return m.g.OptimizeHyperparams(nStarts, rng)
+}
+
+// mean returns the posterior mean at config c in physical units.
+func (m *metricGP) mean(c videosim.Config) float64 {
+	mu, _ := m.g.Predict(encodeCfg(c))
+	return mu * m.scale
+}
+
+// sampleJoint draws joint posterior samples (physical units) at the given
+// configs: result[sample][point].
+func (m *metricGP) sampleJoint(cfgs []videosim.Config, n int, rng *rand.Rand) [][]float64 {
+	pts := make([][]float64, len(cfgs))
+	for i, c := range cfgs {
+		pts[i] = encodeCfg(c)
+	}
+	out := m.g.SampleJoint(pts, n, rng)
+	for _, row := range out {
+		for i := range row {
+			row[i] *= m.scale
+		}
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func std(xs []float64) float64 {
+	m := mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// clipModels bundles the five metric GPs of one video source.
+type clipModels struct {
+	m [numMetrics]*metricGP
+}
+
+func newClipModels() *clipModels {
+	var c clipModels
+	for i := range c.m {
+		c.m[i] = newMetricGP()
+	}
+	return &c
+}
+
+// addMeasurement records one profiling measurement at cfg.
+func (c *clipModels) addMeasurement(cfg videosim.Config, obs videosim.Measurement) {
+	x := encodeCfg(cfg)
+	c.m[mAcc].add(x, obs.Acc)
+	c.m[mProc].add(x, obs.ProcTime)
+	c.m[mBits].add(x, obs.Bits)
+	c.m[mComp].add(x, obs.Compute)
+	c.m[mPow].add(x, obs.Power)
+}
+
+// refit re-conditions all five GPs.
+func (c *clipModels) refit() error {
+	for i := range c.m {
+		if err := c.m[i].refit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

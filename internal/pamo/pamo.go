@@ -1,0 +1,568 @@
+package pamo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/eva"
+	"repro/internal/objective"
+	"repro/internal/pref"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/videosim"
+)
+
+// Acquisition selects the acquisition function used by the solution phase.
+type Acquisition string
+
+// Supported acquisition functions (the paper's qNEI plus the ablation
+// variants of Section 5.1).
+const (
+	QNEI Acquisition = "qnei"
+	QEI  Acquisition = "qei"
+	QUCB Acquisition = "qucb"
+	QSR  Acquisition = "qsr"
+)
+
+// Options tunes the PaMO scheduler. Zero values select defaults sized for
+// the paper's experiments (8 videos, 5 servers).
+type Options struct {
+	InitProfiles  int         // profiling configs per clip before the loop (default 24)
+	InitObs       int         // initial full-system observations (default 4)
+	PrefPairs     int         // V: decision-maker comparisons (default 18)
+	PrefPool      int         // candidate outcome vectors for EUBO pairs (default 24)
+	Batch         int         // b: candidates recommended per iteration (default 4)
+	MCSamples     int         // Monte-Carlo samples inside acquisitions (default 32)
+	CandPool      int         // candidate configurations per iteration (default 20)
+	MaxIter       int         // BO iteration cap (default 12)
+	Delta         float64     // convergence threshold δ on benefit change (default 0.02)
+	Acq           Acquisition // default QNEI
+	UCBBeta       float64     // exploration weight for QUCB (default 2)
+	UseTruePref   bool        // PaMO+: score with the true preference function
+	TruePref      objective.Preference
+	UseEUBO       bool // select comparison pairs by EUBO (default true via NewDefault)
+	OptimizeHyper bool // tune outcome-GP hyperparameters after initial profiling
+	// OptimizePrefHyper tunes the preference GP's kernel and probit scale
+	// by Laplace evidence after the initial comparisons — worthwhile when
+	// the hidden benefit has sharp non-linearities (SLA thresholds, tiered
+	// tariffs) that the default long lengthscale smooths over.
+	OptimizePrefHyper bool
+	ProfilerNoise float64
+	// Measurer overrides where profiling measurements come from (e.g. a
+	// trace.Replayer); nil selects the live noisy profiler.
+	Measurer videosim.Measurer
+	// Workers bounds the goroutines used for posterior sampling inside the
+	// acquisition function (0 = GOMAXPROCS). Results are deterministic for
+	// a given Seed regardless of the worker count.
+	Workers int
+	// ROIGrid enables the adaptive-encoding/segmented-inference extension:
+	// the ROI fraction becomes a third per-stream knob drawn from this
+	// grid. Empty means full-frame only (the paper's configuration space).
+	ROIGrid []float64
+	// OnIteration, when non-nil, is called after every BO iteration with
+	// the iteration number (1-based) and the best believed benefit so far.
+	OnIteration func(iter int, bestBenefit float64)
+	Seed        uint64
+}
+
+// Validate rejects option values the scheduler cannot run with.
+func (o Options) Validate() error {
+	for name, v := range map[string]int{
+		"InitProfiles": o.InitProfiles, "InitObs": o.InitObs,
+		"PrefPairs": o.PrefPairs, "PrefPool": o.PrefPool,
+		"Batch": o.Batch, "MCSamples": o.MCSamples,
+		"CandPool": o.CandPool, "MaxIter": o.MaxIter, "Workers": o.Workers,
+	} {
+		if v < 0 {
+			return fmt.Errorf("pamo: option %s is negative (%d)", name, v)
+		}
+	}
+	if o.Delta < 0 {
+		return fmt.Errorf("pamo: Delta is negative (%v)", o.Delta)
+	}
+	switch o.Acq {
+	case "", QNEI, QEI, QUCB, QSR:
+	default:
+		return fmt.Errorf("pamo: unknown acquisition %q", o.Acq)
+	}
+	for _, r := range o.ROIGrid {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf("pamo: ROI grid value %v outside (0, 1]", r)
+		}
+	}
+	return nil
+}
+
+func (o Options) withDefaults() Options {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&o.InitProfiles, 24)
+	def(&o.InitObs, 4)
+	def(&o.PrefPairs, 18)
+	def(&o.PrefPool, 24)
+	def(&o.Batch, 4)
+	def(&o.MCSamples, 32)
+	def(&o.CandPool, 20)
+	def(&o.MaxIter, 12)
+	if o.Delta == 0 {
+		o.Delta = 0.02
+	}
+	if o.Acq == "" {
+		o.Acq = QNEI
+	}
+	if o.UCBBeta == 0 {
+		o.UCBBeta = 2
+	}
+	if o.ProfilerNoise == 0 {
+		o.ProfilerNoise = 0.02
+	}
+	return o
+}
+
+// Observation is one evaluated full-system configuration.
+type Observation struct {
+	Decision eva.Decision
+	Raw      objective.Vector // measured outcomes (DES latency)
+	Norm     objective.Vector
+	Benefit  float64 // benefit under the scheduler's current belief
+}
+
+// Result is the output of a PaMO run.
+type Result struct {
+	Best       Observation
+	History    []float64 // best believed benefit after each iteration
+	Iters      int
+	Converged  bool
+	PrefPairs  int // comparisons actually asked
+	Profiles   int // profiling measurements taken
+}
+
+// Scheduler is the PaMO scheduler instance.
+type Scheduler struct {
+	sys  *objective.System
+	dm   pref.DecisionMaker
+	opt  Options
+	rng  *rand.Rand
+	prof videosim.Measurer
+	norm objective.Normalizer
+
+	clips          []*clipModels
+	learner        *pref.Learner
+	obs            []Observation
+	profiles       int
+	tournamentAsks int
+}
+
+// New builds a PaMO scheduler for the system. dm answers pairwise
+// comparisons; it is ignored when opt.UseTruePref is set (PaMO+).
+func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
+	opt = opt.withDefaults()
+	rng := stats.NewRNG(opt.Seed + 0x9A30)
+	prof := opt.Measurer
+	if prof == nil {
+		prof = videosim.NewProfiler(opt.ProfilerNoise, stats.NewRNG(opt.Seed+0x70F1))
+	}
+	s := &Scheduler{
+		sys:  sys,
+		dm:   dm,
+		opt:  opt,
+		rng:  rng,
+		prof: prof,
+		norm: objective.NewNormalizer(sys),
+	}
+	s.clips = make([]*clipModels, sys.M())
+	for i := range s.clips {
+		s.clips[i] = newClipModels()
+	}
+	if !opt.UseTruePref {
+		s.learner = pref.NewLearner(dm, opt.UseEUBO, stats.NewRNG(opt.Seed+0xE0B0))
+	}
+	return s
+}
+
+// Run executes Algorithm 2 end to end and returns the best decision found.
+func (s *Scheduler) Run() (*Result, error) {
+	if err := s.opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.profileInit(); err != nil {
+		return nil, fmt.Errorf("pamo: outcome-model phase: %w", err)
+	}
+	if err := s.learnPreference(); err != nil {
+		return nil, fmt.Errorf("pamo: preference phase: %w", err)
+	}
+	if err := s.initialObservations(); err != nil {
+		return nil, fmt.Errorf("pamo: initial observations: %w", err)
+	}
+
+	res := &Result{}
+	zPrev := math.Inf(-1)
+	for iter := 0; iter < s.opt.MaxIter; iter++ {
+		res.Iters = iter + 1
+		cands := s.generateCandidates()
+		if len(cands) == 0 {
+			break
+		}
+		batch := s.selectBatch(cands)
+		for _, c := range batch {
+			if _, err := s.observe(c); err != nil {
+				return nil, err
+			}
+		}
+		s.refreshBenefits()
+		z := s.bestObservation().Benefit
+		res.History = append(res.History, z)
+		if s.opt.OnIteration != nil {
+			s.opt.OnIteration(iter+1, z)
+		}
+		if !math.IsInf(zPrev, -1) && math.Abs(z-zPrev) < s.opt.Delta {
+			res.Converged = true
+			zPrev = z
+			break
+		}
+		zPrev = z
+	}
+	res.Best = s.bestObservation()
+	// The learned utility is a smoothed surrogate; before committing, let
+	// the decision maker pick directly among the top candidates (a few
+	// extra comparisons, same interaction the loop already uses). This
+	// protects the final answer against surrogate smoothing of sharp
+	// pricing features like SLA thresholds.
+	if s.learner != nil {
+		res.Best = s.finalTournament(3)
+	}
+	res.Profiles = s.profiles
+	if s.learner != nil {
+		res.PrefPairs = s.learner.Model.NumComparisons() + s.tournamentAsks
+	}
+	return res, nil
+}
+
+// finalTournament returns the winner of direct decision-maker comparisons
+// among the top-k observations by believed benefit.
+func (s *Scheduler) finalTournament(k int) Observation {
+	idx := make([]int, len(s.obs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection of the top k by believed benefit.
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for a := 0; a < k; a++ {
+		best := a
+		for b := a + 1; b < len(idx); b++ {
+			if s.obs[idx[b]].Benefit > s.obs[idx[best]].Benefit {
+				best = b
+			}
+		}
+		idx[a], idx[best] = idx[best], idx[a]
+	}
+	winner := idx[0]
+	for _, ci := range idx[1:k] {
+		s.tournamentAsks++
+		if s.dm.Prefer(s.obs[ci].Norm, s.obs[winner].Norm) {
+			winner = ci
+		}
+	}
+	return s.obs[winner]
+}
+
+// --- phase 1: outcome-model fitting -----------------------------------
+
+func (s *Scheduler) profileInit() error {
+	grid := eva.ConfigGrid()
+	rois := s.roiGrid()
+	for ci, clip := range s.sys.Clips {
+		// Latin-hypercube over the knob grid, snapped to grid points.
+		pts := stats.LatinHypercube(s.opt.InitProfiles, 3, s.rng)
+		for _, p := range pts {
+			cfg := videosim.Config{
+				Resolution: snap(videosim.Resolutions, p[0]),
+				FPS:        snap(videosim.FrameRates, p[1]),
+				ROI:        snap(rois, p[2]),
+			}
+			s.clips[ci].addMeasurement(cfg, s.prof.Measure(clip, cfg))
+			s.profiles++
+		}
+		// Always include the grid corners so bounds are anchored.
+		for _, cfg := range []videosim.Config{grid[0], grid[len(grid)-1]} {
+			s.clips[ci].addMeasurement(cfg, s.prof.Measure(clip, cfg))
+			s.profiles++
+		}
+		if err := s.clips[ci].refit(); err != nil {
+			return err
+		}
+		if s.opt.OptimizeHyper {
+			for _, mg := range s.clips[ci].m {
+				if err := mg.optimize(2, s.rng); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func snap(grid []float64, u float64) float64 {
+	i := int(u * float64(len(grid)))
+	if i >= len(grid) {
+		i = len(grid) - 1
+	}
+	return grid[i]
+}
+
+// --- phase 2: preference modeling --------------------------------------
+
+func (s *Scheduler) learnPreference() error {
+	if s.opt.UseTruePref {
+		return nil
+	}
+	// Build a pool of predicted outcome vectors for the decision maker to
+	// compare (Eq. 9 data): the corners of the configuration space first —
+	// comparisons between Pareto extremes carry the most information about
+	// which objectives the pricing actually rewards — then random feasible
+	// configurations for interior coverage.
+	var pool []objective.Vector
+	for _, cfgs := range s.extremeConfigs() {
+		if c, ok := s.plan(cfgs); ok {
+			pool = append(pool, s.norm.Normalize(s.predictOutcomes(c)))
+		}
+	}
+	for attempt := 0; attempt < s.opt.PrefPool*20 && len(pool) < s.opt.PrefPool; attempt++ {
+		cfgs := s.randomConfigs()
+		c, ok := s.plan(cfgs)
+		if !ok {
+			continue
+		}
+		pool = append(pool, s.norm.Normalize(s.predictOutcomes(c)))
+	}
+	if len(pool) < 2 {
+		return errors.New("no feasible configurations for preference pool")
+	}
+	if err := s.learner.Learn(pool, s.opt.PrefPairs); err != nil {
+		return err
+	}
+	if s.opt.OptimizePrefHyper {
+		return s.learner.Model.OptimizeHyperparams(2, s.rng)
+	}
+	return nil
+}
+
+// extremeConfigs returns uniform configurations spanning the knob-space
+// corners, degrading the hot corners knob-by-knob until they schedule.
+func (s *Scheduler) extremeConfigs() [][]videosim.Config {
+	res := videosim.Resolutions
+	fps := videosim.FrameRates
+	corners := []videosim.Config{
+		{Resolution: res[0], FPS: fps[0]},                       // cheapest
+		{Resolution: res[len(res)-1], FPS: fps[len(fps)-1]},     // most accurate
+		{Resolution: res[len(res)-1], FPS: fps[0]},              // sharp but slow
+		{Resolution: res[0], FPS: fps[len(fps)-1]},              // fast but coarse
+		{Resolution: res[len(res)/2], FPS: fps[len(fps)/2]},     // middle
+	}
+	var out [][]videosim.Config
+	for _, corner := range corners {
+		cfg := corner
+		for step := 0; step < len(res)+len(fps); step++ {
+			cfgs := make([]videosim.Config, s.sys.M())
+			for i := range cfgs {
+				cfgs[i] = cfg
+			}
+			if _, ok := s.plan(cfgs); ok {
+				out = append(out, cfgs)
+				break
+			}
+			// Degrade the heavier knob and retry.
+			if i := knobIndex(fps, cfg.FPS); i > 0 {
+				cfg.FPS = fps[i-1]
+			} else if i := knobIndex(res, cfg.Resolution); i > 0 {
+				cfg.Resolution = res[i-1]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// --- candidates and planning -------------------------------------------
+
+// candidate is a configuration with its Algorithm 1 plan under the current
+// outcome models.
+type candidate struct {
+	cfgs    []videosim.Config
+	streams []sched.Stream // model-estimated, post-split
+	plan    sched.Plan
+}
+
+// plan runs Algorithm 1 with model-estimated processing times; ok=false
+// when no zero-jitter grouping exists.
+func (s *Scheduler) plan(cfgs []videosim.Config) (candidate, bool) {
+	streams := make([]sched.Stream, s.sys.M())
+	for i := range s.sys.Clips {
+		proc := math.Max(1e-4, s.clips[i].m[mProc].mean(cfgs[i]))
+		bits := math.Max(1, s.clips[i].m[mBits].mean(cfgs[i]))
+		streams[i] = sched.Stream{
+			Video:  i,
+			Period: sched.RatFromFPS(int64(math.Round(cfgs[i].FPS))),
+			Proc:   proc,
+			Bits:   bits,
+		}
+	}
+	split := sched.SplitHighRate(streams)
+	plan, err := sched.Schedule(split, s.sys.Servers)
+	if err != nil {
+		return candidate{}, false
+	}
+	return candidate{cfgs: cfgs, streams: split, plan: plan}, true
+}
+
+// roiGrid returns the ROI knob values (full frame only by default).
+func (s *Scheduler) roiGrid() []float64 {
+	if len(s.opt.ROIGrid) == 0 {
+		return []float64{1}
+	}
+	return s.opt.ROIGrid
+}
+
+func (s *Scheduler) randomConfigs() []videosim.Config {
+	rois := s.roiGrid()
+	cfgs := make([]videosim.Config, s.sys.M())
+	for i := range cfgs {
+		cfgs[i] = videosim.Config{
+			Resolution: videosim.Resolutions[s.rng.IntN(len(videosim.Resolutions))],
+			FPS:        videosim.FrameRates[s.rng.IntN(len(videosim.FrameRates))],
+			ROI:        rois[s.rng.IntN(len(rois))],
+		}
+	}
+	return cfgs
+}
+
+// mutateConfigs perturbs 1–2 stream knobs of base by one grid step each.
+func (s *Scheduler) mutateConfigs(base []videosim.Config) []videosim.Config {
+	cfgs := append([]videosim.Config(nil), base...)
+	rois := s.roiGrid()
+	for k := 0; k < 1+s.rng.IntN(2); k++ {
+		i := s.rng.IntN(len(cfgs))
+		switch s.rng.IntN(3) {
+		case 0:
+			cfgs[i].Resolution = stepKnob(videosim.Resolutions, cfgs[i].Resolution, s.rng)
+		case 1:
+			cfgs[i].FPS = stepKnob(videosim.FrameRates, cfgs[i].FPS, s.rng)
+		default:
+			if len(rois) > 1 {
+				cfgs[i].ROI = rois[s.rng.IntN(len(rois))]
+			} else {
+				cfgs[i].Resolution = stepKnob(videosim.Resolutions, cfgs[i].Resolution, s.rng)
+			}
+		}
+	}
+	return cfgs
+}
+
+// knobIndex returns the grid index of v, or 0 when off-grid.
+func knobIndex(grid []float64, v float64) int {
+	for i, g := range grid {
+		if g == v {
+			return i
+		}
+	}
+	return 0
+}
+
+func stepKnob(grid []float64, cur float64, rng *rand.Rand) float64 {
+	idx := knobIndex(grid, cur)
+	if rng.IntN(2) == 0 {
+		idx--
+	} else {
+		idx++
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(grid) {
+		idx = len(grid) - 1
+	}
+	return grid[idx]
+}
+
+func (s *Scheduler) generateCandidates() []candidate {
+	var out []candidate
+	seen := map[string]bool{}
+	add := func(cfgs []videosim.Config) {
+		key := cfgKey(cfgs)
+		if seen[key] {
+			return
+		}
+		if c, ok := s.plan(cfgs); ok {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	best := s.bestObservation()
+	// Half exploit: mutations of the incumbent; half explore: random.
+	for attempt := 0; attempt < s.opt.CandPool*10 && len(out) < s.opt.CandPool/2; attempt++ {
+		if len(best.Decision.Configs) > 0 {
+			add(s.mutateConfigs(best.Decision.Configs))
+		} else {
+			break
+		}
+	}
+	for attempt := 0; attempt < s.opt.CandPool*20 && len(out) < s.opt.CandPool; attempt++ {
+		add(s.randomConfigs())
+	}
+	return out
+}
+
+func cfgKey(cfgs []videosim.Config) string {
+	key := make([]byte, 0, len(cfgs)*8)
+	for _, c := range cfgs {
+		key = append(key, []byte(fmt.Sprintf("%g,%g;", c.Resolution, c.FPS))...)
+	}
+	return string(key)
+}
+
+// predictOutcomes composes the posterior-mean outcome vector of a planned
+// candidate (Eqs. 2–5 with model means and the plan's assignment).
+func (s *Scheduler) predictOutcomes(c candidate) objective.Vector {
+	var v objective.Vector
+	m := float64(s.sys.M())
+	for i := range s.sys.Clips {
+		cfg := c.cfgs[i]
+		v[objective.Accuracy] += clamp01(s.clips[i].m[mAcc].mean(cfg)) / m
+		v[objective.Network] += math.Max(0, s.clips[i].m[mBits].mean(cfg)) * cfg.FPS
+		v[objective.Compute] += math.Max(0, s.clips[i].m[mComp].mean(cfg))
+		v[objective.Energy] += math.Max(0, s.clips[i].m[mPow].mean(cfg))
+	}
+	var lat float64
+	for k, st := range c.streams {
+		b := s.sys.Servers[c.plan.StreamServer[k]].Uplink
+		proc := math.Max(0, s.clips[st.Video].m[mProc].mean(c.cfgs[st.Video]))
+		bits := math.Max(0, s.clips[st.Video].m[mBits].mean(c.cfgs[st.Video]))
+		tx := 0.0
+		if b > 0 {
+			tx = bits / b
+		}
+		lat += proc + tx
+	}
+	if len(c.streams) > 0 {
+		v[objective.Latency] = lat / float64(len(c.streams))
+	}
+	return v
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

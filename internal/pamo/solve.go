@@ -1,0 +1,346 @@
+package pamo
+
+import (
+	"math"
+	"math/rand/v2"
+	goruntime "runtime"
+	"sync"
+
+	"repro/internal/acq"
+	"repro/internal/cluster"
+	"repro/internal/eva"
+	"repro/internal/objective"
+	"repro/internal/sched"
+	"repro/internal/videosim"
+)
+
+// benefitSampler adapts the composed model (per-clip outcome GPs →
+// normalized outcome vector → preference GP) into the acq.Sampler
+// interface. Points are opaque handles (indices into cands) rather than
+// coordinates, because the sampler needs each candidate's plan.
+type benefitSampler struct {
+	s     *Scheduler
+	cands []candidate // the candidate universe this sampler covers
+}
+
+// point encodes candidate index i as a 1-vector so it fits acq.Sampler.
+func point(i int) []float64 { return []float64{float64(i)} }
+
+// SampleBenefit draws nSamples joint samples of the believed benefit
+// z = g(f(x)) at the referenced candidates, propagating both outcome-GP
+// and preference-GP uncertainty (the integrand of Eq. 12).
+func (bs *benefitSampler) SampleBenefit(points [][]float64, nSamples int, rng *rand.Rand) [][]float64 {
+	idx := make([]int, len(points))
+	for i, p := range points {
+		idx[i] = int(p[0])
+	}
+	// Joint outcome samples per clip per metric at the configs of every
+	// referenced candidate.
+	q := len(idx)
+	m := bs.s.sys.M()
+	samples := make([][]objective.Vector, nSamples) // [sample][point]raw outcome
+	for si := range samples {
+		samples[si] = make([]objective.Vector, q)
+	}
+	// Per-clip joint draws across the candidate points. The 5·M draws are
+	// independent — the paper's batch recommendation exists precisely so
+	// observations can proceed in parallel — so fan them out over workers.
+	// Each task gets an RNG derived from (base seed, clip, metric), which
+	// keeps results identical regardless of goroutine scheduling.
+	type draw struct{ byMetric [numMetrics][][]float64 }
+	draws := make([]draw, m)
+	seedBase := rng.Uint64()
+	workers := bs.s.opt.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ci := 0; ci < m; ci++ {
+		cfgs := make([]videosim.Config, q)
+		for j, cand := range idx {
+			cfgs[j] = bs.cands[cand].cfgs[ci]
+		}
+		for mi := metric(0); mi < numMetrics; mi++ {
+			wg.Add(1)
+			go func(ci int, mi metric, cfgs []videosim.Config) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				taskRng := rand.New(rand.NewPCG(seedBase, uint64(ci)*uint64(numMetrics)+uint64(mi)+1))
+				draws[ci].byMetric[mi] = bs.s.clips[ci].m[mi].sampleJoint(cfgs, nSamples, taskRng)
+			}(ci, mi, cfgs)
+		}
+	}
+	wg.Wait()
+	// Compose raw outcome vectors per sample per point.
+	for si := 0; si < nSamples; si++ {
+		for j, cand := range idx {
+			c := &bs.cands[cand]
+			var v objective.Vector
+			for ci := 0; ci < m; ci++ {
+				d := &draws[ci]
+				v[objective.Accuracy] += clamp01(d.byMetric[mAcc][si][j]) / float64(m)
+				v[objective.Network] += math.Max(0, d.byMetric[mBits][si][j]) * c.cfgs[ci].FPS
+				v[objective.Compute] += math.Max(0, d.byMetric[mComp][si][j])
+				v[objective.Energy] += math.Max(0, d.byMetric[mPow][si][j])
+			}
+			var lat float64
+			for k, st := range c.streams {
+				b := bs.s.sys.Servers[c.plan.StreamServer[k]].Uplink
+				tx := 0.0
+				if b > 0 {
+					tx = math.Max(0, draws[st.Video].byMetric[mBits][si][j]) / b
+				}
+				lat += math.Max(0, draws[st.Video].byMetric[mProc][si][j]) + tx
+			}
+			if len(c.streams) > 0 {
+				v[objective.Latency] = lat / float64(len(c.streams))
+			}
+			samples[si][j] = v
+		}
+	}
+	// Map through the (learned or true) preference to benefit samples.
+	out := make([][]float64, nSamples)
+	for si := 0; si < nSamples; si++ {
+		row := make([]float64, q)
+		if bs.s.opt.UseTruePref {
+			for j := range row {
+				row[j] = bs.s.opt.TruePref.Benefit(bs.s.norm.Normalize(samples[si][j]))
+			}
+		} else {
+			ys := make([][]float64, q)
+			for j := range ys {
+				ys[j] = bs.s.norm.Normalize(samples[si][j]).Slice()
+			}
+			row = bs.s.learner.Model.Sample(ys, 1, rng)[0]
+		}
+		out[si] = row
+	}
+	return out
+}
+
+// selectBatch implements line 15 of Algorithm 2: greedy sequential batch
+// construction under the configured acquisition function.
+func (s *Scheduler) selectBatch(cands []candidate) []candidate {
+	b := s.opt.Batch
+	if b > len(cands) {
+		b = len(cands)
+	}
+	// The sampler's universe covers candidates plus the observed points so
+	// qNEI can sample the noisy incumbent jointly.
+	universe := append([]candidate(nil), cands...)
+	obsStart := len(universe)
+	for _, o := range s.obs {
+		universe = append(universe, s.observationCandidate(o))
+	}
+	bs := &benefitSampler{s: s, cands: universe}
+
+	obsPts := make([][]float64, 0, len(s.obs))
+	for i := range s.obs {
+		obsPts = append(obsPts, point(obsStart+i))
+	}
+	incumbent := math.Inf(-1)
+	for _, o := range s.obs {
+		if o.Benefit > incumbent {
+			incumbent = o.Benefit
+		}
+	}
+
+	chosen := make([]int, 0, b)
+	inBatch := make([]bool, len(cands))
+	for len(chosen) < b {
+		bestIdx, bestVal := -1, math.Inf(-1)
+		for ci := range cands {
+			if inBatch[ci] {
+				continue
+			}
+			trial := make([][]float64, 0, len(chosen)+1)
+			for _, c := range chosen {
+				trial = append(trial, point(c))
+			}
+			trial = append(trial, point(ci))
+			rng := rand.New(rand.NewPCG(s.opt.Seed+uint64(len(chosen))*131+uint64(ci), 0xACC))
+			var v float64
+			switch s.opt.Acq {
+			case QEI:
+				v = acq.QEI(bs, trial, incumbent, s.opt.MCSamples, rng)
+			case QUCB:
+				v = acq.QUCB(bs, trial, s.opt.UCBBeta, s.opt.MCSamples, rng)
+			case QSR:
+				v = acq.QSR(bs, trial, s.opt.MCSamples, rng)
+			default:
+				v = acq.QNEI(bs, trial, obsPts, s.opt.MCSamples, rng)
+			}
+			if v > bestVal {
+				bestVal, bestIdx = v, ci
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		inBatch[bestIdx] = true
+		chosen = append(chosen, bestIdx)
+	}
+	out := make([]candidate, len(chosen))
+	for i, ci := range chosen {
+		out[i] = cands[ci]
+	}
+	return out
+}
+
+// observationCandidate rebuilds a candidate view of a past observation so
+// the sampler can re-sample its benefit jointly with new candidates.
+func (s *Scheduler) observationCandidate(o Observation) candidate {
+	return candidate{
+		cfgs:    o.Decision.Configs,
+		streams: o.Decision.Streams,
+		plan:    sched.Plan{StreamServer: o.Decision.Assign},
+	}
+}
+
+// --- observation --------------------------------------------------------
+
+// observe deploys a candidate: physics (ground truth + DES latency)
+// happens, the profiler records fresh per-clip samples, and the preference
+// model gains one comparison against the incumbent.
+func (s *Scheduler) observe(c candidate) (Observation, error) {
+	// The deployed streams keep the plan's periods/splitting but the
+	// true processing times and frame sizes apply.
+	streams := append([]sched.Stream(nil), c.streams...)
+	for i := range streams {
+		clip := s.sys.Clips[streams[i].Video]
+		cfg := c.cfgs[streams[i].Video]
+		streams[i].Proc = clip.ProcTimeOf(cfg)
+		streams[i].Bits = clip.BitsOf(cfg)
+	}
+	offsets := s.zeroJitterOffsets(streams, c.plan)
+	dec := eva.Decision{
+		Configs: c.cfgs,
+		Streams: streams,
+		Assign:  c.plan.StreamServer,
+		Offsets: offsets,
+		ZeroJit: true,
+	}
+	raw := eva.Evaluate(s.sys, dec)
+	norm := s.norm.Normalize(raw)
+	ob := Observation{Decision: dec, Raw: raw, Norm: norm}
+
+	// Update outcome models with fresh profiling at the deployed configs.
+	for i, clip := range s.sys.Clips {
+		s.clips[i].addMeasurement(c.cfgs[i], s.prof.Measure(clip, c.cfgs[i]))
+		s.profiles++
+		if err := s.clips[i].refit(); err != nil {
+			return ob, err
+		}
+	}
+
+	// Update the preference model with one more comparison (line 19).
+	if s.learner != nil && len(s.obs) > 0 {
+		best := s.bestObservation()
+		i := s.learner.Model.AddPoint(norm.Slice())
+		j := s.learner.Model.AddPoint(best.Norm.Slice())
+		if i != j {
+			var err error
+			if s.dm.Prefer(norm, best.Norm) {
+				err = s.learner.Model.AddComparison(i, j)
+			} else {
+				err = s.learner.Model.AddComparison(j, i)
+			}
+			if err == nil {
+				if err := s.learner.Model.Fit(); err != nil {
+					return ob, err
+				}
+			}
+		}
+	}
+
+	ob.Benefit = s.believedBenefit(norm)
+	s.obs = append(s.obs, ob)
+	return ob, nil
+}
+
+// zeroJitterOffsets computes Theorem 1 offsets for the deployed streams
+// group by group.
+func (s *Scheduler) zeroJitterOffsets(streams []sched.Stream, plan sched.Plan) []float64 {
+	offsets := make([]float64, len(streams))
+	for g, members := range plan.Groups {
+		if len(members) == 0 {
+			continue
+		}
+		srv := s.sys.Servers[plan.GroupServer[g]]
+		specs := make([]cluster.StreamSpec, len(members))
+		for k, si := range members {
+			specs[k] = cluster.StreamSpec{
+				Period: streams[si].Period.Float(),
+				Proc:   streams[si].Proc,
+				Bits:   streams[si].Bits,
+			}
+		}
+		specs = cluster.ZeroJitterOffsets(specs, srv.Uplink)
+		for k, si := range members {
+			offsets[si] = specs[k].Offset
+		}
+	}
+	return offsets
+}
+
+// believedBenefit scores a normalized outcome under the scheduler's
+// current belief: the learned preference model's posterior mean, or the
+// true preference for PaMO+.
+func (s *Scheduler) believedBenefit(norm objective.Vector) float64 {
+	if s.opt.UseTruePref {
+		return s.opt.TruePref.Benefit(norm)
+	}
+	mu, _ := s.learner.Model.PredictOne(norm.Slice())
+	return mu
+}
+
+// refreshBenefits rescores every observation under the latest preference
+// model (the learned utility scale drifts as comparisons accumulate).
+func (s *Scheduler) refreshBenefits() {
+	for i := range s.obs {
+		s.obs[i].Benefit = s.believedBenefit(s.obs[i].Norm)
+	}
+}
+
+func (s *Scheduler) bestObservation() Observation {
+	var best Observation
+	bestZ := math.Inf(-1)
+	for _, o := range s.obs {
+		if o.Benefit > bestZ {
+			bestZ = o.Benefit
+			best = o
+		}
+	}
+	return best
+}
+
+// initialObservations seeds the BO loop with a few evaluated random
+// feasible configurations so qNEI has a noisy incumbent to improve on.
+func (s *Scheduler) initialObservations() error {
+	tried := 0
+	for len(s.obs) < s.opt.InitObs && tried < s.opt.InitObs*40 {
+		tried++
+		c, ok := s.plan(s.randomConfigs())
+		if !ok {
+			continue
+		}
+		if _, err := s.observe(c); err != nil {
+			return err
+		}
+	}
+	if len(s.obs) == 0 {
+		return errNoFeasible
+	}
+	s.refreshBenefits()
+	return nil
+}
+
+var errNoFeasible = errNoFeasibleT{}
+
+type errNoFeasibleT struct{}
+
+func (errNoFeasibleT) Error() string {
+	return "pamo: no feasible zero-jitter configuration found for this system"
+}

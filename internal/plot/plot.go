@@ -1,0 +1,156 @@
+// Package plot renders simple line charts as standalone SVG documents
+// using only the standard library. It exists so the reproduction can emit
+// the paper's evaluation figures as actual figures, not just tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a single-axes line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int // pixels; default 640
+	Height int // pixels; default 400
+}
+
+// palette holds distinguishable line colors (cycled).
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const margin = 56.0
+
+// SVG writes the chart as a complete SVG document.
+func (c *Chart) SVG(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	xLo, xHi, yLo, yHi, ok := c.bounds()
+	if !ok {
+		return fmt.Errorf("plot: no finite data in chart %q", c.Title)
+	}
+	// Pad the y-range slightly so lines don't hug the frame.
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	pad := (yHi - yLo) * 0.07
+	yLo -= pad
+	yHi += pad
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+
+	plotW := float64(width) - 2*margin
+	plotH := float64(height) - 2*margin
+	px := func(x float64) float64 { return margin + (x-xLo)/(xHi-xLo)*plotW }
+	py := func(y float64) float64 { return margin + plotH - (y-yLo)/(yHi-yLo)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n", width/2, esc(c.Title))
+
+	// Axes frame.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n", margin, margin, plotW, plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xLo + (xHi-xLo)*float64(i)/4
+		fy := yLo + (yHi-yLo)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-dasharray="3,4"/>`+"\n",
+			px(fx), margin, px(fx), margin+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px(fx), margin+plotH+16, fmtTick(fx))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-dasharray="3,4"/>`+"\n",
+			margin, py(fy), margin+plotW, py(fy))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			margin-6, py(fy)+4, fmtTick(fy))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		width/2, height-10, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		height/2, height/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for _, p := range pts {
+			var x, y float64
+			fmt.Sscanf(p, "%f,%f", &x, &y)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x, y, color)
+		}
+		// Legend entry.
+		ly := margin + 8 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			margin+plotW-110, ly, margin+plotW-90, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			margin+plotW-84, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Chart) bounds() (xLo, xHi, yLo, yHi float64, ok bool) {
+	xLo, yLo = math.Inf(1), math.Inf(1)
+	xHi, yHi = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if !finite(s.X[i]) || i >= len(s.Y) || !finite(s.Y[i]) {
+				continue
+			}
+			xLo = math.Min(xLo, s.X[i])
+			xHi = math.Max(xHi, s.X[i])
+			yLo = math.Min(yLo, s.Y[i])
+			yHi = math.Max(yHi, s.Y[i])
+			ok = true
+		}
+	}
+	return xLo, xHi, yLo, yHi, ok
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

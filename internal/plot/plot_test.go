@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func chart() *Chart {
+	return &Chart{
+		Title:  "demo <chart>",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 4, 9}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 3, 5}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart().SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must parse as XML end to end.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "demo &lt;chart&gt;", "circle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 && !strings.Contains(out, "legend") {
+		// two data polylines plus legend lines drawn as <line>
+		t.Fatalf("series missing: %d polylines", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestSVGEmptyChartErrors(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if err := c.SVG(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c.Series = []Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}
+	if err := c.SVG(&bytes.Buffer{}); err == nil {
+		t.Fatal("all-NaN chart accepted")
+	}
+}
+
+func TestSVGSinglePointAndConstantSeries(t *testing.T) {
+	c := &Chart{
+		Title:  "degenerate",
+		Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}},
+	}
+	var buf bytes.Buffer
+	if err := c.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "circle") {
+		t.Fatal("point not drawn")
+	}
+}
+
+func TestSVGSkipsNaNPoints(t *testing.T) {
+	c := &Chart{
+		Title: "gaps",
+		Series: []Series{{
+			Name: "g",
+			X:    []float64{0, 1, 2, 3},
+			Y:    []float64{1, math.NaN(), 3, 4},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := c.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 3 finite points drawn.
+	if got := strings.Count(buf.String(), "<circle"); got != 3 {
+		t.Fatalf("circles = %d", got)
+	}
+}
+
+func TestSVGCustomSize(t *testing.T) {
+	c := chart()
+	c.Width, c.Height = 300, 200
+	var buf bytes.Buffer
+	if err := c.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="300"`) {
+		t.Fatal("custom width ignored")
+	}
+}

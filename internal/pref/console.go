@@ -1,0 +1,51 @@
+package pref
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/objective"
+)
+
+// ConsoleDM is an interactive decision maker: each comparison is printed
+// to Out as a two-column table of the five objectives and the answer is
+// read from In ("1"/"a" prefers the first outcome, "2"/"b" the second).
+// This is the paper's actual deployment mode — a human operator answering
+// simple comparative questions instead of writing down weights.
+type ConsoleDM struct {
+	In  io.Reader
+	Out io.Writer
+
+	r *bufio.Reader
+}
+
+// Prefer implements DecisionMaker. Unparseable input re-prompts; EOF
+// defaults to preferring the first outcome so batch runs cannot hang.
+func (c *ConsoleDM) Prefer(y1, y2 objective.Vector) bool {
+	if c.r == nil {
+		c.r = bufio.NewReader(c.In)
+	}
+	fmt.Fprintf(c.Out, "\nWhich outcome do you prefer? (objectives normalized: 0 = best cost, 1 = best accuracy)\n")
+	fmt.Fprintf(c.Out, "%-12s %10s %10s\n", "objective", "option 1", "option 2")
+	for k := 0; k < objective.K; k++ {
+		fmt.Fprintf(c.Out, "%-12s %10.3f %10.3f\n", objective.Names[k], y1[k], y2[k])
+	}
+	for {
+		fmt.Fprintf(c.Out, "answer [1/2]: ")
+		line, err := c.r.ReadString('\n')
+		ans := strings.ToLower(strings.TrimSpace(line))
+		switch ans {
+		case "1", "a", "first":
+			return true
+		case "2", "b", "second":
+			return false
+		}
+		if err != nil {
+			fmt.Fprintf(c.Out, "(no input; defaulting to option 1)\n")
+			return true
+		}
+		fmt.Fprintf(c.Out, "please answer 1 or 2\n")
+	}
+}

@@ -1,0 +1,44 @@
+package prefgp
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/optim"
+)
+
+// OptimizeHyperparams maximizes the Laplace evidence over the kernel's
+// log-parameters and log λ using multi-start Nelder–Mead, refitting the
+// model at the optimum. The model must already be fitted.
+func (m *Model) OptimizeHyperparams(nStarts int, rng *rand.Rand) error {
+	if m.ainv == nil {
+		return errors.New("prefgp: optimize before Fit")
+	}
+	kp := m.Kern.LogParams()
+	x0 := append(append([]float64(nil), kp...), math.Log(m.Lambda))
+
+	obj := func(p []float64) float64 {
+		for _, v := range p {
+			if v < -8 || v > 6 {
+				return math.Inf(1)
+			}
+		}
+		m.Kern.SetLogParams(p[:len(p)-1])
+		m.Lambda = math.Exp(p[len(p)-1])
+		if err := m.Fit(); err != nil {
+			return math.Inf(1)
+		}
+		return -m.evidence
+	}
+
+	res := optim.MultiStartNelderMead(obj, x0, nStarts, 1.0, rng,
+		optim.NelderMeadOptions{MaxIters: 120 * len(x0), TolF: 1e-6, TolX: 1e-3})
+	best := res.X
+	if math.IsInf(res.F, 1) {
+		best = x0
+	}
+	m.Kern.SetLogParams(best[:len(best)-1])
+	m.Lambda = math.Exp(best[len(best)-1])
+	return m.Fit()
+}

@@ -1,0 +1,302 @@
+// Package prefgp implements Gaussian-process preference learning following
+// Chu & Ghahramani (ICML 2005), the model PaMO uses to surrogate the system
+// pricing-preference function g: R^k → R from pairwise comparisons of
+// outcome vectors (Section 4.2 of the paper).
+//
+// The latent utility g over the observed outcome vectors has a GP prior;
+// each comparison y⁽¹⁾ ≻ y⁽²⁾ contributes a probit likelihood
+// Φ((g(y⁽¹⁾)−g(y⁽²⁾))/(√2·λ)). The posterior is approximated with a Laplace
+// approximation found by damped Newton iterations.
+package prefgp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// Comparison records that the decision maker prefers point Winner to point
+// Loser (indices into the model's point list).
+type Comparison struct {
+	Winner, Loser int
+}
+
+// Model is a preference GP over outcome vectors.
+type Model struct {
+	Kern   kernel.Kernel
+	Lambda float64 // probit noise scale λ (paper's hyperparameter)
+
+	points [][]float64
+	comps  []Comparison
+
+	// Laplace posterior state (valid after Fit).
+	ghat     mat.Vector  // MAP latent utilities at points
+	kinv     *mat.Matrix // K⁻¹ over points
+	ainv     *mat.Matrix // (K⁻¹+W)⁻¹ — posterior covariance of g at points
+	evidence float64     // Laplace log marginal likelihood of the comparisons
+}
+
+// NewModel returns an empty preference model. lambda defaults to 0.1 when
+// non-positive; outcome vectors are expected to be normalized to [0,1]^k so
+// the default unit kernel lengthscales are sensible.
+func NewModel(k kernel.Kernel, lambda float64) *Model {
+	if lambda <= 0 {
+		lambda = 0.1
+	}
+	return &Model{Kern: k, Lambda: lambda}
+}
+
+// AddPoint registers an outcome vector and returns its index. An exact
+// duplicate of an existing point returns the existing index.
+func (m *Model) AddPoint(y []float64) int {
+	for i, p := range m.points {
+		if equal(p, y) {
+			return i
+		}
+	}
+	m.points = append(m.points, append([]float64(nil), y...))
+	return len(m.points) - 1
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddComparison records winner ≻ loser. Indices must come from AddPoint.
+func (m *Model) AddComparison(winner, loser int) error {
+	n := len(m.points)
+	if winner < 0 || winner >= n || loser < 0 || loser >= n {
+		return fmt.Errorf("prefgp: comparison (%d, %d) out of range [0,%d)", winner, loser, n)
+	}
+	if winner == loser {
+		return errors.New("prefgp: comparison of a point with itself")
+	}
+	m.comps = append(m.comps, Comparison{Winner: winner, Loser: loser})
+	return nil
+}
+
+// NumPoints returns the number of registered outcome vectors.
+func (m *Model) NumPoints() int { return len(m.points) }
+
+// NumComparisons returns the number of recorded comparisons.
+func (m *Model) NumComparisons() int { return len(m.comps) }
+
+// Points returns the registered outcome vectors (not a copy).
+func (m *Model) Points() [][]float64 { return m.points }
+
+// Fit computes the Laplace approximation of the posterior over latent
+// utilities. It must be called after adding points/comparisons and before
+// prediction.
+func (m *Model) Fit() error {
+	n := len(m.points)
+	if n == 0 {
+		return errors.New("prefgp: no points")
+	}
+	if len(m.comps) == 0 {
+		return errors.New("prefgp: no comparisons")
+	}
+	// Prior covariance and its inverse.
+	k := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := m.Kern.Eval(m.points[i], m.points[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	ck, err := mat.CholJitter(k)
+	if err != nil {
+		return fmt.Errorf("prefgp: prior covariance: %w", err)
+	}
+	m.kinv = ck.Inverse()
+
+	// Damped Newton iterations for the MAP latent utilities.
+	g := mat.NewVector(n)
+	c := 1 / (math.Sqrt2 * m.Lambda)
+	psi := func(gv mat.Vector) float64 {
+		// ψ(g) = −Σ log Φ(z_v) + ½ gᵀK⁻¹g
+		s := 0.5 * gv.Dot(m.kinv.MulVec(gv))
+		for _, cp := range m.comps {
+			z := c * (gv[cp.Winner] - gv[cp.Loser])
+			s -= stats.NormLogCDF(z)
+		}
+		return s
+	}
+	cur := psi(g)
+	for iter := 0; iter < 100; iter++ {
+		grad, w := m.nllGradHess(g, c)
+		// ∇ψ = ∇nll + K⁻¹g ; Hψ = W + K⁻¹.
+		gradPsi := grad.Add(m.kinv.MulVec(g))
+		h := w.Add(m.kinv) // w is freshly allocated each call; safe to mutate
+		ch, err := mat.CholJitter(h)
+		if err != nil {
+			return fmt.Errorf("prefgp: Newton Hessian: %w", err)
+		}
+		step := ch.SolveVec(gradPsi)
+		// Damped line search on ψ.
+		t := 1.0
+		var next mat.Vector
+		improved := false
+		for ls := 0; ls < 30; ls++ {
+			next = g.Clone().AddScaled(-t, step)
+			if v := psi(next); v < cur {
+				cur = v
+				improved = true
+				break
+			}
+			t /= 2
+		}
+		if !improved {
+			break
+		}
+		delta := 0.0
+		for i := range g {
+			delta = math.Max(delta, math.Abs(next[i]-g[i]))
+		}
+		g = next
+		if delta < 1e-8 {
+			break
+		}
+	}
+	m.ghat = g
+
+	// Posterior covariance (K⁻¹+W)⁻¹ at the MAP point.
+	_, w := m.nllGradHess(g, c)
+	a := w.Add(m.kinv.Clone())
+	ca, err := mat.CholJitter(a)
+	if err != nil {
+		return fmt.Errorf("prefgp: Laplace covariance: %w", err)
+	}
+	m.ainv = ca.Inverse()
+	m.ainv.Symmetrize()
+
+	// Laplace evidence: log q(P|θ) = −ψ(ĝ) − ½ log det(I + K·W)
+	// with det(I + K·W) = det(K)·det(K⁻¹ + W).
+	m.evidence = -cur - 0.5*(ck.LogDet()+ca.LogDet())
+	return nil
+}
+
+// LogEvidence returns the Laplace approximation of the log marginal
+// likelihood of the comparison data under the current hyperparameters.
+// Valid after Fit.
+func (m *Model) LogEvidence() float64 {
+	if m.ainv == nil {
+		panic(ErrNotFitted)
+	}
+	return m.evidence
+}
+
+// nllGradHess returns the gradient and Hessian (W) of the negative log
+// likelihood at latent utilities g, with probit scale c = 1/(√2λ).
+func (m *Model) nllGradHess(g mat.Vector, c float64) (mat.Vector, *mat.Matrix) {
+	n := len(g)
+	grad := mat.NewVector(n)
+	w := mat.NewMatrix(n, n)
+	for _, cp := range m.comps {
+		z := c * (g[cp.Winner] - g[cp.Loser])
+		rho := stats.InvMills(z)     // φ(z)/Φ(z)
+		curv := rho * (rho + z)      // -d²logΦ/dz² ≥ 0
+		grad[cp.Winner] -= c * rho   // d(−logΦ)/dg_w
+		grad[cp.Loser] += c * rho
+		cc := c * c * curv
+		w.Data[cp.Winner*n+cp.Winner] += cc
+		w.Data[cp.Loser*n+cp.Loser] += cc
+		w.Data[cp.Winner*n+cp.Loser] -= cc
+		w.Data[cp.Loser*n+cp.Winner] -= cc
+	}
+	return grad, w
+}
+
+// ErrNotFitted is returned by predictions before Fit.
+var ErrNotFitted = errors.New("prefgp: model is not fitted")
+
+// Predict returns the joint posterior mean and covariance of the latent
+// utility at the query outcome vectors.
+//
+//	μ* = K*ᵀ K⁻¹ ĝ
+//	Σ* = K** − K*ᵀ(K⁻¹ − K⁻¹ A⁻¹ K⁻¹)K*,  A = K⁻¹ + W.
+func (m *Model) Predict(ys [][]float64) (mat.Vector, *mat.Matrix) {
+	if m.ainv == nil {
+		panic(ErrNotFitted)
+	}
+	n, q := len(m.points), len(ys)
+	ks := mat.NewMatrix(n, q)
+	for i := 0; i < n; i++ {
+		for j := 0; j < q; j++ {
+			ks.Set(i, j, m.Kern.Eval(m.points[i], ys[j]))
+		}
+	}
+	kinvKs := m.kinv.Mul(ks) // n×q
+	kinvGhat := m.kinv.MulVec(m.ghat)
+	mu := mat.NewVector(q)
+	for j := 0; j < q; j++ {
+		mu[j] = colDot(ks, j, kinvGhat)
+	}
+	// Σ* = K** − Ksᵀ·K⁻¹·Ks + (K⁻¹Ks)ᵀ·A⁻¹·(K⁻¹Ks)
+	cov := mat.NewMatrix(q, q)
+	aKinvKs := m.ainv.Mul(kinvKs) // n×q
+	for a := 0; a < q; a++ {
+		for b := a; b < q; b++ {
+			v := m.Kern.Eval(ys[a], ys[b])
+			for i := 0; i < n; i++ {
+				v -= ks.At(i, a) * kinvKs.At(i, b)
+				v += kinvKs.At(i, a) * aKinvKs.At(i, b)
+			}
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return mu, cov
+}
+
+func colDot(m *mat.Matrix, j int, v mat.Vector) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += m.At(i, j) * v[i]
+	}
+	return s
+}
+
+// PredictOne returns the posterior mean and variance of the utility at y.
+func (m *Model) PredictOne(y []float64) (mu, variance float64) {
+	mv, cov := m.Predict([][]float64{y})
+	v := cov.At(0, 0)
+	if v < 0 {
+		v = 0
+	}
+	return mv[0], v
+}
+
+// Sample draws nSamples joint samples of the latent utility at ys.
+func (m *Model) Sample(ys [][]float64, nSamples int, rng *rand.Rand) [][]float64 {
+	mu, cov := m.Predict(ys)
+	return gp.SampleMVN(mu, cov, nSamples, rng)
+}
+
+// ProbPrefer returns the posterior predictive probability that y1 ≻ y2,
+// integrating the probit likelihood over the joint posterior of
+// (g(y1), g(y2)).
+func (m *Model) ProbPrefer(y1, y2 []float64) float64 {
+	mu, cov := m.Predict([][]float64{y1, y2})
+	dmu := mu[0] - mu[1]
+	dvar := cov.At(0, 0) + cov.At(1, 1) - 2*cov.At(0, 1)
+	if dvar < 0 {
+		dvar = 0
+	}
+	den := math.Sqrt(2*m.Lambda*m.Lambda + dvar)
+	return stats.NormCDF(dmu / den)
+}

@@ -1,0 +1,185 @@
+// Package pricing models the "intricate pricing rules" that motivate the
+// paper (Section 1): tiered electricity tariffs, metered network traffic,
+// differentiated server rental, and QoS-based dynamic service pricing.
+// Composed into a Billing scheme they induce a *non-linear* system benefit
+// over the five objectives — exactly the kind of benefit a fixed linear
+// weighting cannot capture but pairwise-comparison preference learning
+// can.
+package pricing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/objective"
+)
+
+// Tariff prices a usage level (per hour of operation), in currency units.
+type Tariff interface {
+	Cost(usage float64) float64
+}
+
+// Linear is a flat-rate tariff: cost = Rate·usage.
+type Linear struct {
+	Rate float64
+}
+
+// Cost implements Tariff.
+func (l Linear) Cost(usage float64) float64 { return l.Rate * usage }
+
+// Bracket is one marginal-rate tier: usage above From is billed at Rate.
+type Bracket struct {
+	From float64
+	Rate float64
+}
+
+// Tiered is a marginal tiered tariff, like residential electricity pricing
+// (Wang et al. [29] in the paper): successive usage brackets are billed at
+// increasing rates.
+type Tiered struct {
+	Brackets []Bracket // sorted by From ascending; first From must be 0
+}
+
+// NewTiered validates and builds a tiered tariff.
+func NewTiered(brackets ...Bracket) (Tiered, error) {
+	if len(brackets) == 0 {
+		return Tiered{}, fmt.Errorf("pricing: tiered tariff needs at least one bracket")
+	}
+	sorted := append([]Bracket(nil), brackets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
+	if sorted[0].From != 0 {
+		return Tiered{}, fmt.Errorf("pricing: first bracket must start at 0, got %v", sorted[0].From)
+	}
+	return Tiered{Brackets: sorted}, nil
+}
+
+// Cost implements Tariff with marginal-rate semantics.
+func (t Tiered) Cost(usage float64) float64 {
+	if usage <= 0 {
+		return 0
+	}
+	var cost float64
+	for i, b := range t.Brackets {
+		hi := usage
+		if i+1 < len(t.Brackets) && t.Brackets[i+1].From < usage {
+			hi = t.Brackets[i+1].From
+		}
+		if hi > b.From {
+			cost += (hi - b.From) * b.Rate
+		}
+		if hi >= usage {
+			break
+		}
+	}
+	return cost
+}
+
+// Quota is a metered contract: BaseFee covers usage up to Quota; overage
+// is billed at OverRate (cellular-style network pricing).
+type Quota struct {
+	Quota    float64
+	BaseFee  float64
+	OverRate float64
+}
+
+// Cost implements Tariff.
+func (q Quota) Cost(usage float64) float64 {
+	if usage <= q.Quota {
+		return q.BaseFee
+	}
+	return q.BaseFee + (usage-q.Quota)*q.OverRate
+}
+
+// SLA is a QoS-based service contract (Wu et al. [30] in the paper): each
+// analyzed stream pays BasePay per hour, plus AccBonus when mean accuracy
+// meets AccTarget, minus LatPenalty per second of mean latency above
+// LatSLO. Revenue saturates — more accuracy than the target earns nothing,
+// which is one of the non-linearities fixed weights miss.
+type SLA struct {
+	BasePay    float64
+	AccTarget  float64
+	AccBonus   float64
+	LatSLO     float64
+	LatPenalty float64
+}
+
+// Revenue returns the hourly payment for the given mean accuracy and mean
+// end-to-end latency.
+func (s SLA) Revenue(acc, lat float64) float64 {
+	r := s.BasePay
+	if acc >= s.AccTarget {
+		r += s.AccBonus
+	}
+	if lat > s.LatSLO {
+		r -= s.LatPenalty * (lat - s.LatSLO)
+	}
+	return r
+}
+
+// Billing composes the tariffs and the SLA into the system's hourly net
+// benefit over raw outcome vectors.
+type Billing struct {
+	Energy  Tariff // priced per W (continuous draw for an hour)
+	Network Tariff // priced per Mbps of uplink demand
+	Compute Tariff // priced per TFLOPS of rented compute
+	SLA     SLA
+	Streams int // number of billed streams (SLA multiplier)
+}
+
+// NetBenefit returns hourly revenue minus hourly cost for raw outcomes.
+func (b Billing) NetBenefit(raw objective.Vector) float64 {
+	rev := float64(b.Streams) * b.SLA.Revenue(raw[objective.Accuracy], raw[objective.Latency])
+	cost := 0.0
+	if b.Energy != nil {
+		cost += b.Energy.Cost(raw[objective.Energy])
+	}
+	if b.Network != nil {
+		cost += b.Network.Cost(raw[objective.Network] / 1e6)
+	}
+	if b.Compute != nil {
+		cost += b.Compute.Cost(raw[objective.Compute])
+	}
+	return rev - cost
+}
+
+// CityBilling is a ready-made billing scheme used by tests and examples:
+// three-tier electricity, metered cellular uplink, linear compute rental,
+// and an accuracy/latency SLA.
+func CityBilling(streams int) Billing {
+	tiers, err := NewTiered(
+		Bracket{From: 0, Rate: 0.08},
+		Bracket{From: 40, Rate: 0.15},
+		Bracket{From: 120, Rate: 0.30},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return Billing{
+		Energy:  tiers,
+		Network: Quota{Quota: 10, BaseFee: 2, OverRate: 0.5},
+		Compute: Linear{Rate: 0.12},
+		SLA: SLA{
+			BasePay:    3,
+			AccTarget:  0.5,
+			AccBonus:   2,
+			LatSLO:     0.15,
+			LatPenalty: 20,
+		},
+		Streams: streams,
+	}
+}
+
+// Oracle is a preference decision maker whose hidden truth is a Billing
+// scheme over *raw* outcomes. It denormalizes the compared vectors with
+// the system's normalizer, so it plugs into the same learning loop as the
+// Eq. 13 oracle.
+type Oracle struct {
+	Billing Billing
+	Norm    objective.Normalizer
+}
+
+// Prefer implements pref.DecisionMaker.
+func (o *Oracle) Prefer(y1, y2 objective.Vector) bool {
+	return o.Billing.NetBenefit(o.Norm.Denormalize(y1)) >
+		o.Billing.NetBenefit(o.Norm.Denormalize(y2))
+}

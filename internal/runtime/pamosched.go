@@ -1,0 +1,29 @@
+package runtime
+
+import (
+	"repro/internal/eva"
+	"repro/internal/objective"
+	"repro/internal/pamo"
+	"repro/internal/pref"
+)
+
+// PaMOScheduler adapts the PaMO optimizer to the controller's Scheduler
+// interface: every replan runs a fresh Algorithm 2 loop against the
+// drifted system. Opt's Seed is advanced per epoch so repeated replans
+// explore differently while remaining reproducible.
+type PaMOScheduler struct {
+	DM  pref.DecisionMaker
+	Opt pamo.Options
+}
+
+// Decide implements Scheduler.
+func (p *PaMOScheduler) Decide(sys *objective.System, epoch int) (eva.Decision, error) {
+	opt := p.Opt
+	opt.Seed += uint64(epoch) * 1009
+	opt.UseEUBO = true
+	res, err := pamo.New(sys, p.DM, opt).Run()
+	if err != nil {
+		return eva.Decision{}, err
+	}
+	return res.Best.Decision, nil
+}

@@ -1,0 +1,239 @@
+// Package runtime is the online control plane of the EVA system (Section
+// 2.1's loop made concrete): camera and server agents report status over
+// channels, a controller periodically collects it, re-plans through a
+// pluggable scheduler when content drift degrades the running decision,
+// and dispatches new configurations. Epochs are virtual time; all
+// concurrency is real.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/eva"
+	"repro/internal/objective"
+	"repro/internal/sched"
+	"repro/internal/videosim"
+)
+
+// EpochSeconds is the wall-clock length one epoch represents.
+const EpochSeconds = 60.0
+
+// Scheduler produces a decision for the system as it looks at a given
+// epoch.
+type Scheduler interface {
+	Decide(sys *objective.System, epoch int) (eva.Decision, error)
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc func(sys *objective.System, epoch int) (eva.Decision, error)
+
+// Decide implements Scheduler.
+func (f SchedulerFunc) Decide(sys *objective.System, epoch int) (eva.Decision, error) {
+	return f(sys, epoch)
+}
+
+// EpochReport is the controller's record of one epoch.
+type EpochReport struct {
+	Epoch     int
+	Outcome   objective.Vector // measured under the drifted content
+	Benefit   float64          // truth-scored benefit (for the trace owner)
+	MaxJitter float64
+	Replanned bool
+}
+
+// Trace is the full run history.
+type Trace struct {
+	Reports []EpochReport
+}
+
+// MeanBenefit returns the average benefit across all epochs.
+func (t *Trace) MeanBenefit() float64 {
+	if len(t.Reports) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range t.Reports {
+		s += r.Benefit
+	}
+	return s / float64(len(t.Reports))
+}
+
+// Options tunes the controller.
+type Options struct {
+	ReplanEvery int // re-run the scheduler every k epochs (default 5)
+	Workers     int // parallel per-server evaluators (default N)
+	// ReplanOnDrop additionally triggers a replan whenever the measured
+	// benefit falls more than this amount below the best benefit seen
+	// since the last replan (0 = disabled). This is event-driven
+	// adaptation: react to content drift instead of waiting for the clock.
+	ReplanOnDrop float64
+}
+
+// Controller drives the online loop.
+type Controller struct {
+	Sys   *objective.System
+	Sched Scheduler
+	Truth objective.Preference // scoring preference for the trace
+	Norm  objective.Normalizer
+	Opt   Options
+}
+
+// ErrNoDecision is returned when the first scheduling attempt fails — the
+// controller cannot run without an initial decision.
+var ErrNoDecision = errors.New("runtime: scheduler produced no initial decision")
+
+// Run executes the control loop for the given number of epochs. Each epoch
+// the running decision is evaluated against content-drifted clips with one
+// goroutine per server (fan-out/fan-in); on replan epochs the scheduler
+// sees the drifted system. Cancelling ctx stops the loop early and returns
+// the partial trace.
+func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
+	opt := c.Opt
+	if opt.ReplanEvery <= 0 {
+		opt.ReplanEvery = 5
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = c.Sys.N()
+	}
+
+	trace := &Trace{}
+	var current eva.Decision
+	haveDecision := false
+	bestSinceReplan := 0.0
+	dropPending := false
+	for epoch := 0; epoch < epochs; epoch++ {
+		select {
+		case <-ctx.Done():
+			return trace, ctx.Err()
+		default:
+		}
+		drifted := c.driftedSystem(epoch)
+		replanned := false
+		if !haveDecision || epoch%opt.ReplanEvery == 0 || dropPending {
+			d, err := c.Sched.Decide(drifted, epoch)
+			if err == nil {
+				current = d
+				haveDecision = true
+				replanned = true
+				dropPending = false
+				bestSinceReplan = math.Inf(-1)
+			} else if !haveDecision {
+				return trace, fmt.Errorf("%w: %v", ErrNoDecision, err)
+			}
+			// A failed replan keeps the previous decision running.
+		}
+		out, jitter := c.evaluateParallel(drifted, current, opt.Workers)
+		benefit := c.Truth.Benefit(c.Norm.Normalize(out))
+		if benefit > bestSinceReplan {
+			bestSinceReplan = benefit
+		}
+		if opt.ReplanOnDrop > 0 && bestSinceReplan-benefit > opt.ReplanOnDrop {
+			dropPending = true
+		}
+		trace.Reports = append(trace.Reports, EpochReport{
+			Epoch:     epoch,
+			Outcome:   out,
+			Benefit:   benefit,
+			MaxJitter: jitter,
+			Replanned: replanned,
+		})
+	}
+	return trace, nil
+}
+
+// driftedSystem returns a copy of the system whose clips reflect the
+// content difficulty at the epoch's virtual time.
+func (c *Controller) driftedSystem(epoch int) *objective.System {
+	t := float64(epoch) * EpochSeconds
+	clips := make([]*videosim.Clip, len(c.Sys.Clips))
+	for i, clip := range c.Sys.Clips {
+		clips[i] = clip.Drifted(t)
+	}
+	return &objective.System{Clips: clips, Servers: c.Sys.Servers}
+}
+
+// evaluateParallel measures the decision's outcomes on the drifted system,
+// simulating each server in its own goroutine and merging the results.
+func (c *Controller) evaluateParallel(sys *objective.System, d eva.Decision, workers int) (objective.Vector, float64) {
+	// The decision's stream parameters were planned against possibly-stale
+	// content: re-derive true per-frame cost from the drifted clips while
+	// keeping the decision's periods and placement.
+	streams := append([]sched.Stream(nil), d.Streams...)
+	for i := range streams {
+		clip := sys.Clips[streams[i].Video]
+		cfg := d.Configs[streams[i].Video]
+		streams[i].Proc = clip.ProcTimeOf(cfg)
+		streams[i].Bits = clip.BitsOf(cfg)
+	}
+
+	var v objective.Vector
+	m := float64(sys.M())
+	for i, clip := range sys.Clips {
+		cfg := d.Configs[i]
+		v[objective.Accuracy] += clip.Accuracy(cfg) / m
+		v[objective.Network] += clip.Bandwidth(cfg)
+		v[objective.Compute] += clip.Compute(cfg)
+		v[objective.Energy] += clip.Power(cfg)
+	}
+
+	// Fan out one simulation per server.
+	type serverResult struct {
+		latSum float64
+		frames int
+		jitter float64
+	}
+	results := make([]serverResult, sys.N())
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for j := range sys.Servers {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var specs []cluster.StreamSpec
+			for i, a := range d.Assign {
+				if a != j {
+					continue
+				}
+				off := 0.0
+				if d.Offsets != nil {
+					off = d.Offsets[i]
+				}
+				specs = append(specs, cluster.StreamSpec{
+					Period: streams[i].Period.Float(),
+					Offset: off,
+					Proc:   streams[i].Proc,
+					Bits:   streams[i].Bits,
+				})
+			}
+			res := cluster.SimulateServer(specs, sys.Servers[j], eva.EvalHorizon)
+			for _, f := range res.Frames {
+				results[j].latSum += f.Latency()
+				results[j].frames++
+			}
+			results[j].jitter = res.MaxJitter
+		}(j)
+	}
+	wg.Wait()
+
+	var latSum float64
+	var frames int
+	var jitter float64
+	for _, r := range results {
+		latSum += r.latSum
+		frames += r.frames
+		if r.jitter > jitter {
+			jitter = r.jitter
+		}
+	}
+	if frames > 0 {
+		v[objective.Latency] = latSum / float64(frames)
+	}
+	return v, jitter
+}

@@ -1,0 +1,95 @@
+package sched
+
+import "repro/internal/cluster"
+
+// Exact zero-jitter grouping by backtracking. The paper's related work
+// notes non-preemptive periodic scheduling is strongly NP-hard [12] and
+// usually solved exactly with ILP/CP/SMT encodings; this branch-and-bound
+// search plays that role here. It decides Const2 feasibility exactly
+// (Σ pᵢ ≤ gcd of periods per group), which is strictly weaker than the
+// heuristic's Theorem 3 conditions — so it accepts every instance
+// Algorithm 1 accepts, and some it rejects. Exponential; use for
+// validation on small instances.
+
+// ExactGroup searches for a partition of the streams into at most n groups
+// satisfying Const2. It returns the groups and true, or nil and false when
+// no such partition exists.
+func ExactGroup(streams []Stream, n int) ([][]int, bool) {
+	if n <= 0 {
+		return nil, false
+	}
+	if len(streams) == 0 {
+		return make([][]int, n), true
+	}
+	// Order by period ascending: tight streams first fail fast.
+	order := make([]int, len(streams))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && streams[order[j]].Period.Cmp(streams[order[j-1]].Period) < 0; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	groups := make([][]int, n)
+	gcds := make([]Rational, n)
+	procs := make([]float64, n)
+	used := 0 // number of non-empty groups, for symmetry breaking
+
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		si := order[k]
+		s := streams[si]
+		// Try existing groups plus at most one fresh group (symmetry
+		// breaking: all empty groups are interchangeable).
+		limit := used
+		if used < n {
+			limit = used + 1
+		}
+		for j := 0; j < limit; j++ {
+			newGCD := RatGCD(gcds[j], s.Period)
+			newProc := procs[j] + s.Proc
+			if newProc > newGCD.Float()+1e-12 {
+				continue
+			}
+			oldGCD, oldProc := gcds[j], procs[j]
+			wasEmpty := len(groups[j]) == 0
+			groups[j] = append(groups[j], si)
+			gcds[j], procs[j] = newGCD, newProc
+			if wasEmpty {
+				used++
+			}
+			if rec(k + 1) {
+				return true
+			}
+			groups[j] = groups[j][:len(groups[j])-1]
+			gcds[j], procs[j] = oldGCD, oldProc
+			if wasEmpty {
+				used--
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	out := make([][]int, n)
+	for j := range groups {
+		out[j] = append([]int(nil), groups[j]...)
+	}
+	return out, true
+}
+
+// ExactSchedule runs the exact grouping followed by the same Hungarian
+// group→server mapping as Algorithm 1. The boolean reports feasibility.
+func ExactSchedule(streams []Stream, servers []cluster.Server) (Plan, bool) {
+	groups, ok := ExactGroup(streams, len(servers))
+	if !ok {
+		return Plan{}, false
+	}
+	return MapGroups(groups, streams, servers), true
+}

@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/hungarian"
+)
+
+// Stream is one periodic stream as Algorithm 1 sees it: an exact period,
+// the per-frame processing time on a (homogeneous) server, and the encoded
+// frame size used for the communication-latency objective.
+type Stream struct {
+	Video  int      // index of the originating video source
+	Sub    int      // sub-stream index after high-rate splitting (0 = first)
+	Period Rational // inter-arrival period T = 1/s (seconds)
+	Proc   float64  // per-frame processing time p (seconds)
+	Bits   float64  // encoded frame size (bits)
+}
+
+// FPS returns the stream's frame rate 1/T as a float.
+func (s Stream) FPS() float64 { return 1 / s.Period.Float() }
+
+// SplitHighRate implements the Section 3 preprocessing: every stream whose
+// worst-case per-frame processing time exceeds its period (s·p > 1) is
+// split by periodic sampling into c = ⌈s·p⌉ sub-streams of period c·T, so
+// that each sub-stream alone never self-queues on a server.
+func SplitHighRate(streams []Stream) []Stream {
+	var out []Stream
+	for _, s := range streams {
+		sp := s.Proc / s.Period.Float()
+		if sp <= 1 {
+			out = append(out, s)
+			continue
+		}
+		c := int64(math.Ceil(sp - 1e-12))
+		for k := int64(0); k < c; k++ {
+			sub := s
+			sub.Sub = int(k)
+			sub.Period = s.Period.Mul(c)
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// ErrInfeasible is returned when Algorithm 1 cannot group the streams into
+// the available servers under Const2.
+var ErrInfeasible = errors.New("sched: no feasible zero-jitter grouping")
+
+// Plan is the output of Algorithm 1.
+type Plan struct {
+	Groups       [][]int // stream indices per group (len = number of servers)
+	GroupServer  []int   // group index -> server index
+	StreamServer []int   // stream index -> server index (the paper's q vector)
+	CommLatency  float64 // total transmission latency Σ bits/B over streams
+}
+
+// GroupStreams runs lines 1–19 of Algorithm 1: it partitions the streams
+// into at most n groups such that within each group (a) every period is an
+// integer multiple of the group's minimum period and (b) the processing
+// times sum to at most that minimum period — the sufficient conditions of
+// Theorem 3 for the zero-jitter constraint Const2.
+func GroupStreams(streams []Stream, n int) ([][]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: %d servers", n)
+	}
+	// Line 1: sort by period ascending (stable: keep input order on ties).
+	order := make([]int, len(streams))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return streams[order[a]].Period.Cmp(streams[order[b]].Period) < 0
+	})
+	// Line 2: priority I_i = #{j < i : T_i mod T_j = 0} over the
+	// period-sorted sequence.
+	prio := make([]int, len(order))
+	for i := range order {
+		ti := streams[order[i]].Period
+		for j := 0; j < i; j++ {
+			if ti.IsMultipleOf(streams[order[j]].Period) {
+				prio[i]++
+			}
+		}
+	}
+	// Line 3: re-sort ascending by priority (stable, so the period order
+	// breaks ties).
+	idx := make([]int, len(order))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return prio[idx[a]] < prio[idx[b]] })
+
+	// Lines 4–19: greedy grouping.
+	groups := make([][]int, n)
+	gmin := make([]Rational, n)   // min period per group
+	gproc := make([]float64, n)   // Σ proc per group
+	for _, oi := range idx {
+		si := order[oi]
+		s := streams[si]
+		placed := false
+		// A stream whose processing time exceeds its own period violates
+		// Const2 even alone; the caller should have split it (Section 3).
+		if s.Proc > s.Period.Float()+1e-12 {
+			return nil, fmt.Errorf("%w: stream video=%d sub=%d has p=%.4fs > T=%s (split it first)",
+				ErrInfeasible, s.Video, s.Sub, s.Proc, s.Period)
+		}
+		for j := 0; j < n; j++ {
+			if len(groups[j]) == 0 {
+				groups[j] = append(groups[j], si)
+				gmin[j] = s.Period
+				gproc[j] = s.Proc
+				placed = true
+				break
+			}
+			if s.Period.IsMultipleOf(gmin[j]) && gproc[j]+s.Proc <= gmin[j].Float()+1e-12 {
+				groups[j] = append(groups[j], si)
+				gproc[j] += s.Proc
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("%w: stream video=%d sub=%d (T=%s, p=%.4fs) fits no group",
+				ErrInfeasible, s.Video, s.Sub, s.Period, s.Proc)
+		}
+	}
+	return groups, nil
+}
+
+// MapGroups runs line 20 of Algorithm 1: assign groups to servers with the
+// Hungarian algorithm, minimizing the total transmission latency
+// Σ_{i∈G_j} bits_i/B_{q_j}.
+func MapGroups(groups [][]int, streams []Stream, servers []cluster.Server) Plan {
+	n := len(servers)
+	cost := make([][]float64, n)
+	for g := range cost {
+		cost[g] = make([]float64, n)
+		var bits float64
+		if g < len(groups) {
+			for _, si := range groups[g] {
+				bits += streams[si].Bits
+			}
+		}
+		for j, srv := range servers {
+			if srv.Uplink > 0 {
+				cost[g][j] = bits / srv.Uplink
+			} else if bits > 0 {
+				cost[g][j] = math.Inf(1)
+			}
+		}
+	}
+	assign, total := hungarian.Solve(cost)
+	plan := Plan{
+		Groups:       groups,
+		GroupServer:  assign,
+		StreamServer: make([]int, len(streams)),
+		CommLatency:  total,
+	}
+	for i := range plan.StreamServer {
+		plan.StreamServer[i] = -1
+	}
+	for g, members := range groups {
+		for _, si := range members {
+			plan.StreamServer[si] = assign[g]
+		}
+	}
+	return plan
+}
+
+// Schedule runs the complete Algorithm 1 on pre-split streams.
+func Schedule(streams []Stream, servers []cluster.Server) (Plan, error) {
+	groups, err := GroupStreams(streams, len(servers))
+	if err != nil {
+		return Plan{}, err
+	}
+	return MapGroups(groups, streams, servers), nil
+}
+
+// Utilizations returns each server's compute utilization Σ pᵢ·sᵢ under the
+// plan — the left-hand side of Const1, useful for capacity reports.
+func (p Plan) Utilizations(streams []Stream, n int) []float64 {
+	load := make([]float64, n)
+	for i, s := range streams {
+		if j := p.StreamServer[i]; j >= 0 && j < n {
+			load[j] += s.Proc / s.Period.Float()
+		}
+	}
+	return load
+}
+
+// CheckConst1 verifies Eq. (6): on every server, Σ pᵢ·sᵢ ≤ 1.
+func CheckConst1(streams []Stream, streamServer []int, n int) bool {
+	load := make([]float64, n)
+	for i, s := range streams {
+		j := streamServer[i]
+		if j < 0 {
+			return false
+		}
+		load[j] += s.Proc / s.Period.Float()
+	}
+	for _, l := range load {
+		if l > 1+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckConst2 verifies Eq. (7): on every server, Σ pᵢ ≤ gcd of the periods
+// of the streams scheduled there.
+func CheckConst2(streams []Stream, streamServer []int, n int) bool {
+	procSum := make([]float64, n)
+	gcds := make([]Rational, n)
+	for i, s := range streams {
+		j := streamServer[i]
+		if j < 0 {
+			return false
+		}
+		procSum[j] += s.Proc
+		gcds[j] = RatGCD(gcds[j], s.Period)
+	}
+	for j := 0; j < n; j++ {
+		if gcds[j].Num == 0 {
+			continue // empty server
+		}
+		if procSum[j] > gcds[j].Float()+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// ToClusterStreams converts the plan's streams into simulator specs with
+// the zero-jitter offsets of Theorem 1 applied per server, ready for
+// empirical verification with the cluster package.
+func (p Plan) ToClusterStreams(streams []Stream, servers []cluster.Server) ([]cluster.StreamSpec, cluster.Assignment) {
+	specs := make([]cluster.StreamSpec, len(streams))
+	assign := make(cluster.Assignment, len(streams))
+	for i, s := range streams {
+		specs[i] = cluster.StreamSpec{
+			Name:   fmt.Sprintf("v%d.%d", s.Video, s.Sub),
+			Period: s.Period.Float(),
+			Proc:   s.Proc,
+			Bits:   s.Bits,
+		}
+		assign[i] = p.StreamServer[i]
+	}
+	// Apply Theorem 1 offsets group by group.
+	for g, members := range p.Groups {
+		if len(members) == 0 {
+			continue
+		}
+		srv := servers[p.GroupServer[g]]
+		sub := make([]cluster.StreamSpec, len(members))
+		for k, si := range members {
+			sub[k] = specs[si]
+		}
+		sub = cluster.ZeroJitterOffsets(sub, srv.Uplink)
+		for k, si := range members {
+			specs[si] = sub[k]
+		}
+	}
+	return specs, assign
+}

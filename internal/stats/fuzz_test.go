@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNormalConsistency checks Φ/Φ⁻¹/logΦ/InvMills mutual consistency on
+// arbitrary inputs.
+func FuzzNormalConsistency(f *testing.F) {
+	f.Add(0.0)
+	f.Add(-8.001)
+	f.Add(3.7)
+	f.Add(-30.0)
+	f.Fuzz(func(t *testing.T, z float64) {
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			return
+		}
+		z = math.Mod(z, 38)
+		c := NormCDF(z)
+		if c < 0 || c > 1 {
+			t.Fatalf("Φ(%v) = %v", z, c)
+		}
+		// log Φ matches direct log where the direct value is representable.
+		if c > 1e-300 {
+			if d := math.Abs(NormLogCDF(z) - math.Log(c)); d > 1e-4*math.Abs(math.Log(c))+1e-12 {
+				t.Fatalf("NormLogCDF(%v) = %v, log Φ = %v", z, NormLogCDF(z), math.Log(c))
+			}
+		}
+		// Inverse Mills is positive and finite.
+		im := InvMills(z)
+		if im <= 0 || math.IsNaN(im) || math.IsInf(im, 0) {
+			t.Fatalf("InvMills(%v) = %v", z, im)
+		}
+		// Quantile round trip where the inverse is well-conditioned: near
+		// p = 1 the CDF is flat and one ulp of p moves z by ~ulp/φ(z), so
+		// restrict to the band where that amplification stays below ~1e-9.
+		if c > 1e-6 && c < 1-1e-6 {
+			if d := math.Abs(NormQuantile(c) - z); d > 1e-6 {
+				t.Fatalf("Φ⁻¹(Φ(%v)) off by %v", z, d)
+			}
+		}
+	})
+}
+
+// FuzzQuantileBounds checks Quantile stays within the sample range.
+func FuzzQuantileBounds(f *testing.F) {
+	f.Add(uint64(3), 0.5)
+	f.Add(uint64(11), 0.99)
+	f.Fuzz(func(t *testing.T, seed uint64, q float64) {
+		if math.IsNaN(q) {
+			return
+		}
+		q = math.Mod(math.Abs(q), 1)
+		rng := NewRNG(seed)
+		n := 1 + int(seed%50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		// Sort ascending.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		v := Quantile(xs, q)
+		if v < xs[0]-1e-12 || v > xs[n-1]+1e-12 {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, xs[0], xs[n-1])
+		}
+	})
+}

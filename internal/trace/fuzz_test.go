@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad must never panic on malformed input — only return errors.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"version":1}`)
+	f.Add(`{"version":1,"clips":[{"name":"a"}],"samples":[{"clip":0}]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`[]`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully loaded trace must round-trip.
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("loaded trace failed to save: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("saved trace failed to reload: %v", err)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package repro
+
+import (
+	"testing"
+)
+
+func fastPaMO(seed uint64) PaMOOptions {
+	o := fastOpts()
+	o.Seed = seed
+	return o
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := NewSystem(5, 4, 42)
+	if sys.M() != 5 || sys.N() != 4 {
+		t.Fatalf("system shape %d/%d", sys.M(), sys.N())
+	}
+	truth := UniformPreference()
+	dm := NewOracle(truth, 0, 7)
+	res, err := RunPaMO(sys, dm, fastPaMO(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Evaluate(sys, res.Best.Decision)
+	norm := NewNormalizer(sys)
+	u := truth.Benefit(norm.Normalize(out))
+	if u > 0 || u < -5 {
+		t.Fatalf("benefit %v outside sane range", u)
+	}
+	if j := MaxJitter(sys, res.Best.Decision); j > 1e-3 {
+		t.Fatalf("facade PaMO decision jitters: %v", j)
+	}
+}
+
+func TestFacadeBaselinesAndNormalization(t *testing.T) {
+	sys := NewSystem(6, 4, 9)
+	truth := UniformPreference()
+	norm := NewNormalizer(sys)
+
+	dj, err := RunJCAB(sys, JCABOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := RunFACT(sys, FACTOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uj := truth.Benefit(norm.Normalize(Evaluate(sys, dj)))
+	uf := truth.Benefit(norm.Normalize(Evaluate(sys, df)))
+	// Normalized values against a reference must be ordered like raw ones.
+	maxU := 0.0
+	nj := NormalizeBenefit(uj, maxU, truth)
+	nf := NormalizeBenefit(uf, maxU, truth)
+	if (uj > uf) != (nj > nf) && nj != nf {
+		t.Fatalf("normalization broke ordering: %v/%v vs %v/%v", uj, uf, nj, nf)
+	}
+}
+
+func TestFacadeZeroJitterScheduling(t *testing.T) {
+	sys := NewSystemWithUplinks(4, []float64{10e6, 20e6, 30e6}, 5)
+	cfgs := []Config{
+		{Resolution: 1000, FPS: 5},
+		{Resolution: 1000, FPS: 10},
+		{Resolution: 1250, FPS: 10},
+		{Resolution: 750, FPS: 30},
+	}
+	streams := BuildStreams(sys, cfgs)
+	plan, err := ScheduleZeroJitter(streams, sys.Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range plan.StreamServer {
+		if srv < 0 || srv >= sys.N() {
+			t.Fatalf("stream %d unassigned", i)
+		}
+	}
+	if plan.CommLatency <= 0 {
+		t.Fatal("no communication latency recorded")
+	}
+}
+
+func TestFacadePaMOPlusAndHelpers(t *testing.T) {
+	sys := NewSystem(4, 3, 17)
+	truth := UniformPreference()
+	truth.W[Energy] = 1.5
+	res, err := RunPaMOPlus(sys, truth, fastPaMO(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefPairs != 0 {
+		t.Fatalf("PaMO+ asked %d comparisons", res.PrefPairs)
+	}
+	if rng := NewRNG(5); rng.Float64() == NewRNG(6).Float64() {
+		t.Fatal("seeds ignored")
+	}
+	// Weight-rule re-exports are callable.
+	if p := EqualWeights(); p.W[0] != 0.2 {
+		t.Fatalf("EqualWeights = %v", p.W)
+	}
+	if _, err := ROCWeights([5]int{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RankSumWeights([5]int{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront([]Outcome{
+		{0.1, 0.9, 0.1, 0.1, 0.1},
+		{0.2, 0.8, 0.2, 0.2, 0.2},
+	})
+	if len(front) != 1 {
+		t.Fatalf("front = %v", front)
+	}
+}
+
+func TestFacadeSchedulerDiagnostics(t *testing.T) {
+	sys := NewSystem(3, 3, 23)
+	s := NewPaMO(sys, NewOracle(UniformPreference(), 0, 1), fastPaMO(5))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := s.Diagnostics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 15 {
+		t.Fatalf("diags = %d", len(diags))
+	}
+}
+
+func TestFacadeTraceAndBilling(t *testing.T) {
+	sys := NewSystem(2, 2, 31)
+	tr := RecordTrace(sys, 0.02, 2, 7)
+	if len(tr.Samples) == 0 {
+		t.Fatal("empty trace")
+	}
+	rep := NewTraceReplayer(tr)
+	m := rep.Measure(sys.Clips[0], Config{Resolution: Resolutions[0], FPS: FrameRates[0]})
+	if m.Acc <= 0 {
+		t.Fatalf("replayed measurement: %+v", m)
+	}
+	b := CityBilling(4)
+	var out Outcome
+	out[Accuracy] = 0.6
+	out[Latency] = 0.05
+	if v := b.NetBenefit(out); v <= 0 {
+		t.Fatalf("billing net benefit %v", v)
+	}
+	vms, err := Virtualize([]PhysicalServer{{Name: "x", Units: 2, Uplink: 20e6}})
+	if err != nil || len(vms) != 2 {
+		t.Fatalf("virtualize: %v %v", vms, err)
+	}
+}
+
+func TestFacadeGrids(t *testing.T) {
+	if len(Resolutions) == 0 || len(FrameRates) == 0 {
+		t.Fatal("empty knob grids")
+	}
+	if len(ObjectiveNames) != 5 {
+		t.Fatalf("objective names: %v", ObjectiveNames)
+	}
+}
