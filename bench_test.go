@@ -4,6 +4,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -51,6 +52,24 @@ func BenchmarkFig7Scale(b *testing.B) {
 		exp.Fig7(io.Discard, exp.Fig7Config{
 			Nodes: []int{5}, Videos: []int{8}, Reps: 1,
 			Seed: 2024, PaMOOpt: fastOpts(),
+		})
+	}
+}
+
+// BenchmarkAcqCandPool runs the Fig7 workload with the candidate pool as
+// the scaling axis, isolating the selectBatch-dominated acquisition cost
+// the shared-sample path optimizes (see DESIGN.md, "Performance").
+func BenchmarkAcqCandPool(b *testing.B) {
+	for _, pool := range []int{8, 64} {
+		b.Run(fmt.Sprintf("pool%d", pool), func(b *testing.B) {
+			opt := fastOpts()
+			opt.CandPool = pool
+			for i := 0; i < b.N; i++ {
+				exp.Fig7(io.Discard, exp.Fig7Config{
+					Nodes: []int{5}, Videos: []int{8}, Reps: 1,
+					Seed: 2024, PaMOOpt: opt,
+				})
+			}
 		})
 	}
 }

@@ -16,11 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"repro/internal/plot"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/pamo"
+	"repro/internal/plot"
 )
 
 func main() {
@@ -29,7 +31,37 @@ func main() {
 	seed := flag.Uint64("seed", 2024, "base random seed")
 	fast := flag.Bool("fast", false, "shrink PaMO budgets for a quick pass")
 	svg := flag.String("svg", "", "also write SVG charts into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	writeChart := func(name string, c *plot.Chart) {
 		if *svg == "" || c == nil {

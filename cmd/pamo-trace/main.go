@@ -67,6 +67,10 @@ func main() {
 		norm := objective.NewNormalizer(sys)
 		fmt.Printf("PaMO on trace: benefit=%.4f iters=%d\n",
 			truth.Benefit(norm.Normalize(outv)), res.Iters)
+		if res.MVNFallbacks > 0 {
+			fmt.Printf("  warning: %d posterior sampling calls fell back to the deterministic mean\n",
+				res.MVNFallbacks)
+		}
 		for i, cfg := range res.Best.Decision.Configs {
 			fmt.Printf("  %-10s res=%4.0f fps=%2.0f\n", sys.Clips[i].Name, cfg.Resolution, cfg.FPS)
 		}

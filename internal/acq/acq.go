@@ -141,6 +141,141 @@ func QUCB(s Sampler, cand [][]float64, beta float64, nSamples int, rng *rand.Ran
 	return acc / float64(len(samples))
 }
 
+// --- shared-sample acquisition ------------------------------------------
+//
+// The Monte-Carlo acquisitions above draw a fresh joint sample set for every
+// trial batch, which makes greedy batch construction O(b·|cands|) full GP
+// sampling passes. The shared-sample path instead draws the joint posterior
+// over the whole candidate∪observation universe once, then scores any batch
+// as a column-max over those fixed draws. Because the marginals of a joint
+// MVN restricted to a subset of points coincide with sampling that subset
+// directly, the scores are statistically equivalent — the estimator merely
+// reuses draws (and therefore shares Monte-Carlo noise) across trials, which
+// is exactly what makes greedy argmax comparisons cheap and consistent.
+
+// SharedScorer scores greedy batch extensions against a fixed matrix of
+// joint posterior draws z[sample][point]. All four batch acquisitions reduce
+// to mean-over-samples of f(max over batch columns); the scorer keeps the
+// per-sample running max of the committed batch so extending the batch by
+// one candidate costs O(nSamples) regardless of batch size.
+//
+// Score is safe for concurrent use; Add is not.
+type SharedScorer struct {
+	m    [][]float64 // draws, possibly transformed (qUCB): m[sample][point]
+	inc  []float64   // per-sample hinge baseline (qNEI/qEI); nil = no hinge
+	base []float64   // running max over committed batch columns, per sample
+}
+
+func newSharedScorer(m [][]float64, inc []float64) *SharedScorer {
+	base := make([]float64, len(m))
+	for i := range base {
+		base[i] = math.Inf(-1)
+	}
+	return &SharedScorer{m: m, inc: inc, base: base}
+}
+
+// NewSharedQNEI builds a qNEI scorer from shared draws z over the universe,
+// with obsCols indexing the observed (incumbent) points inside z. With no
+// observed columns it degenerates to qSR, mirroring QNEI.
+func NewSharedQNEI(z [][]float64, obsCols []int) *SharedScorer {
+	if len(obsCols) == 0 {
+		return NewSharedQSR(z)
+	}
+	inc := make([]float64, len(z))
+	for s, row := range z {
+		best := math.Inf(-1)
+		for _, c := range obsCols {
+			if row[c] > best {
+				best = row[c]
+			}
+		}
+		inc[s] = best
+	}
+	return newSharedScorer(z, inc)
+}
+
+// NewSharedQEI builds a qEI scorer over shared draws with a fixed noise-free
+// incumbent value best.
+func NewSharedQEI(z [][]float64, best float64) *SharedScorer {
+	inc := make([]float64, len(z))
+	for i := range inc {
+		inc[i] = best
+	}
+	return newSharedScorer(z, inc)
+}
+
+// NewSharedQSR builds a qSR scorer over shared draws.
+func NewSharedQSR(z [][]float64) *SharedScorer {
+	return newSharedScorer(z, nil)
+}
+
+// NewSharedQUCB builds a qUCB scorer over shared draws: each column is
+// transformed to μ_i + √(βπ/2)·|z − μ_i| with μ estimated from the same
+// draws (as in QUCB), after which qUCB is a plain mean-of-max.
+func NewSharedQUCB(z [][]float64, beta float64) *SharedScorer {
+	if len(z) == 0 {
+		return newSharedScorer(z, nil)
+	}
+	q := len(z[0])
+	mu := make([]float64, q)
+	for _, row := range z {
+		for i, v := range row {
+			mu[i] += v
+		}
+	}
+	for i := range mu {
+		mu[i] /= float64(len(z))
+	}
+	scale := math.Sqrt(beta * math.Pi / 2)
+	u := make([][]float64, len(z))
+	for s, row := range z {
+		ur := make([]float64, q)
+		for i, v := range row {
+			ur[i] = mu[i] + scale*math.Abs(v-mu[i])
+		}
+		u[s] = ur
+	}
+	return newSharedScorer(u, nil)
+}
+
+// Score returns the acquisition value of the committed batch extended by
+// column col, without committing it.
+func (sc *SharedScorer) Score(col int) float64 {
+	if len(sc.m) == 0 {
+		return math.Inf(-1)
+	}
+	var acc float64
+	if sc.inc == nil {
+		for s, row := range sc.m {
+			v := row[col]
+			if b := sc.base[s]; b > v {
+				v = b
+			}
+			acc += v
+		}
+	} else {
+		for s, row := range sc.m {
+			v := row[col]
+			if b := sc.base[s]; b > v {
+				v = b
+			}
+			if d := v - sc.inc[s]; d > 0 {
+				acc += d
+			}
+		}
+	}
+	return acc / float64(len(sc.m))
+}
+
+// Add commits column col to the batch, folding it into the running max.
+func (sc *SharedScorer) Add(col int) {
+	for s, row := range sc.m {
+		if row[col] > sc.base[s] {
+			sc.base[s] = row[col]
+		}
+	}
+}
+
 // AnalyticEI is the closed-form expected improvement of a single Gaussian
 // candidate N(mu, sigma²) over a fixed incumbent:
 //
@@ -168,14 +303,26 @@ func EUBO(m *prefgp.Model, y1, y2 []float64) float64 {
 }
 
 // SelectEUBOPair returns the indices (i, j) of the candidate outcome
-// vectors whose comparison maximizes EUBO. It scans all pairs; candidate
-// sets are expected to be modest (tens of vectors).
+// vectors whose comparison maximizes EUBO. One batch Predict over all
+// candidates yields the joint posterior, from which every pair's bivariate
+// marginal (means, variances, covariance) is read directly — O(|cands|)
+// posterior algebra instead of the O(|cands|²) two-point Predict calls of a
+// pairwise scan.
 func SelectEUBOPair(m *prefgp.Model, candidates [][]float64) (int, int, float64) {
 	bestI, bestJ := -1, -1
 	best := math.Inf(-1)
+	if len(candidates) < 2 {
+		return bestI, bestJ, best
+	}
+	mu, cov := m.Predict(candidates)
+	sd := make([]float64, len(candidates))
+	for i := range sd {
+		sd[i] = math.Sqrt(math.Max(cov.At(i, i), 0))
+	}
 	for i := 0; i < len(candidates); i++ {
 		for j := i + 1; j < len(candidates); j++ {
-			if v := EUBO(m, candidates[i], candidates[j]); v > best {
+			v := stats.EMaxGaussianPair(mu[i], mu[j], sd[i], sd[j], cov.At(i, j))
+			if v > best {
 				best, bestI, bestJ = v, i, j
 			}
 		}

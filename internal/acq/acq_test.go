@@ -207,3 +207,142 @@ func TestSelectEUBOPairTooFewCandidates(t *testing.T) {
 		t.Fatalf("expected (-1, -1), got (%d, %d)", i, j)
 	}
 }
+
+// sharedBruteForce computes the batch acquisition over a fixed draw matrix
+// directly from its definition, as a reference for the incremental scorer.
+func sharedBruteForce(z [][]float64, batch []int, inc []float64) float64 {
+	var acc float64
+	for s, row := range z {
+		best := math.Inf(-1)
+		for _, c := range batch {
+			if row[c] > best {
+				best = row[c]
+			}
+		}
+		v := best
+		if inc != nil {
+			v = math.Max(0, best-inc[s])
+		}
+		acc += v
+	}
+	return acc / float64(len(z))
+}
+
+func sharedTestDraws(nSamples, nPoints int) [][]float64 {
+	rng := stats.NewRNG(101)
+	z := make([][]float64, nSamples)
+	for s := range z {
+		row := make([]float64, nPoints)
+		for i := range row {
+			row[i] = 2*rng.Float64() - 1
+		}
+		z[s] = row
+	}
+	return z
+}
+
+func TestSharedScorerMatchesBruteForce(t *testing.T) {
+	z := sharedTestDraws(64, 9)
+	obsCols := []int{6, 7, 8}
+	inc := make([]float64, len(z))
+	for s, row := range z {
+		inc[s] = math.Max(row[6], math.Max(row[7], row[8]))
+	}
+	qnei := NewSharedQNEI(z, obsCols)
+	qsr := NewSharedQSR(z)
+	qei := NewSharedQEI(z, 0.25)
+	best := make([]float64, len(z))
+	for i := range best {
+		best[i] = 0.25
+	}
+	var batch []int
+	for _, col := range []int{3, 0, 5} {
+		// Score every candidate before committing, against brute force.
+		for ci := 0; ci < 6; ci++ {
+			trial := append(append([]int(nil), batch...), ci)
+			if got, want := qnei.Score(ci), sharedBruteForce(z, trial, inc); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("qNEI batch %v + %d: %v vs %v", batch, ci, got, want)
+			}
+			if got, want := qsr.Score(ci), sharedBruteForce(z, trial, nil); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("qSR batch %v + %d: %v vs %v", batch, ci, got, want)
+			}
+			if got, want := qei.Score(ci), sharedBruteForce(z, trial, best); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("qEI batch %v + %d: %v vs %v", batch, ci, got, want)
+			}
+		}
+		qnei.Add(col)
+		qsr.Add(col)
+		qei.Add(col)
+		batch = append(batch, col)
+	}
+}
+
+func TestSharedQUCBMatchesTransformedMax(t *testing.T) {
+	z := sharedTestDraws(128, 5)
+	const beta = 2.0
+	sc := NewSharedQUCB(z, beta)
+	// Reference: explicit transform then mean-of-max.
+	q := len(z[0])
+	mu := make([]float64, q)
+	for _, row := range z {
+		for i, v := range row {
+			mu[i] += v
+		}
+	}
+	for i := range mu {
+		mu[i] /= float64(len(z))
+	}
+	scale := math.Sqrt(beta * math.Pi / 2)
+	u := make([][]float64, len(z))
+	for s, row := range z {
+		ur := make([]float64, q)
+		for i, v := range row {
+			ur[i] = mu[i] + scale*math.Abs(v-mu[i])
+		}
+		u[s] = ur
+	}
+	sc.Add(1)
+	for ci := 0; ci < q; ci++ {
+		want := sharedBruteForce(u, []int{1, ci}, nil)
+		if got := sc.Score(ci); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("qUCB col %d: %v vs %v", ci, got, want)
+		}
+	}
+}
+
+func TestSharedQNEIAgreesWithPerTrialQNEI(t *testing.T) {
+	// On the same sampler, the shared-draw qNEI estimate of a batch must
+	// agree with the per-trial estimate within Monte-Carlo error.
+	s := gaussSampler{sigma: 0.3}
+	cands := [][]float64{{0}, {1}, {1.8}, {2.2}, {3}}
+	obs := [][]float64{{0.5}, {1.2}}
+	const nSamples = 60000
+	perTrial := QNEI(s, [][]float64{{1.8}, {3}}, obs, nSamples, stats.NewRNG(7))
+
+	universe := append(append([][]float64(nil), cands...), obs...)
+	z := s.SampleBenefit(universe, nSamples, stats.NewRNG(8))
+	sc := NewSharedQNEI(z, []int{5, 6})
+	sc.Add(2) // candidate {1.8}
+	shared := sc.Score(4) // batch {1.8, 3}
+	if math.Abs(perTrial-shared) > 0.02 {
+		t.Fatalf("per-trial qNEI %v vs shared %v", perTrial, shared)
+	}
+}
+
+func TestSharedQNEINoObsDegeneratesToQSR(t *testing.T) {
+	z := sharedTestDraws(32, 4)
+	a := NewSharedQNEI(z, nil)
+	b := NewSharedQSR(z)
+	for ci := 0; ci < 4; ci++ {
+		if a.Score(ci) != b.Score(ci) {
+			t.Fatalf("col %d: %v vs %v", ci, a.Score(ci), b.Score(ci))
+		}
+	}
+}
+
+func TestSharedScorerEmptyDraws(t *testing.T) {
+	sc := NewSharedQSR(nil)
+	if v := sc.Score(0); !math.IsInf(v, -1) {
+		t.Fatalf("empty-draws score = %v", v)
+	}
+}

@@ -10,7 +10,6 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // StreamSpec describes one periodic stream as the simulator sees it.
@@ -76,37 +75,47 @@ func SimulateServer(streams []StreamSpec, srv Server, horizon float64) Result {
 	if horizon <= 0 {
 		panic(fmt.Sprintf("cluster: non-positive horizon %v", horizon))
 	}
-	var frames []FrameRecord
+	tx := make([]float64, len(streams))
+	total := 0
 	for si, s := range streams {
 		if s.Period <= 0 {
 			panic(fmt.Sprintf("cluster: stream %d has period %v", si, s.Period))
 		}
-		tx := 0.0
 		if srv.Uplink > 0 {
-			tx = s.Bits / srv.Uplink
+			tx[si] = s.Bits / srv.Uplink
 		}
-		for k := 0; ; k++ {
-			cap := s.Offset + float64(k)*s.Period
-			if cap >= horizon {
-				break
-			}
-			frames = append(frames, FrameRecord{
-				Stream:  si,
-				Seq:     k,
-				Capture: cap,
-				Arrive:  cap + tx,
-			})
+		if n := math.Ceil((horizon - s.Offset) / s.Period); n > 0 {
+			total += int(n)
 		}
 	}
-	sort.Slice(frames, func(i, j int) bool {
-		if frames[i].Arrive != frames[j].Arrive {
-			return frames[i].Arrive < frames[j].Arrive
+	// Each stream emits frames in increasing arrival order (its uplink delay
+	// is constant), so a k-way merge produces the global FIFO arrival order
+	// directly — no sort. Arrival ties break toward the lower stream index,
+	// matching a deterministic NIC delivering interleaved packets.
+	frames := make([]FrameRecord, 0, total)
+	next := make([]int, len(streams))
+	for {
+		best, bestArr := -1, math.Inf(1)
+		for si := range streams {
+			cap := streams[si].Offset + float64(next[si])*streams[si].Period
+			if cap >= horizon {
+				continue
+			}
+			if arr := cap + tx[si]; arr < bestArr {
+				best, bestArr = si, arr
+			}
 		}
-		if frames[i].Stream != frames[j].Stream {
-			return frames[i].Stream < frames[j].Stream
+		if best < 0 {
+			break
 		}
-		return frames[i].Seq < frames[j].Seq
-	})
+		frames = append(frames, FrameRecord{
+			Stream:  best,
+			Seq:     next[best],
+			Capture: streams[best].Offset + float64(next[best])*streams[best].Period,
+			Arrive:  bestArr,
+		})
+		next[best]++
+	}
 
 	free := 0.0
 	busy := 0.0

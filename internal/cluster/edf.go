@@ -1,9 +1,10 @@
 package cluster
 
 import (
+	"cmp"
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 )
 
 // SimulateServerEDF runs the same workload as SimulateServer but serves
@@ -43,15 +44,15 @@ func SimulateServerEDF(streams []StreamSpec, srv Server, horizon float64) Result
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		fa, fb := frames[order[a]], frames[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		fa, fb := frames[a], frames[b]
 		if fa.Arrive != fb.Arrive {
-			return fa.Arrive < fb.Arrive
+			return cmp.Compare(fa.Arrive, fb.Arrive)
 		}
 		if fa.Stream != fb.Stream {
-			return fa.Stream < fb.Stream
+			return fa.Stream - fb.Stream
 		}
-		return fa.Seq < fb.Seq
+		return fa.Seq - fb.Seq
 	})
 
 	// Event loop: pop the released frame with the earliest deadline.

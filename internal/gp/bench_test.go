@@ -1,0 +1,120 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// benchData builds n noisy samples of a smooth 3-D surface, the same input
+// dimensionality as pamo's per-clip outcome models.
+func benchData(n int) ([][]float64, []float64) {
+	rng := stats.NewRNG(uint64(n))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		xs[i] = x
+		ys[i] = math.Sin(4*x[0]) + x[1]*x[2] + 0.01*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+func benchGP(b *testing.B, n int) *GP {
+	b.Helper()
+	xs, ys := benchData(n)
+	g := New(kernel.NewMatern52(3), 1e-4)
+	if err := g.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+var benchSizes = []int{50, 200, 800}
+
+func BenchmarkGPFit(b *testing.B) {
+	for _, n := range benchSizes {
+		xs, ys := benchData(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			g := New(kernel.NewMatern52(3), 1e-4)
+			for i := 0; i < b.N; i++ {
+				if err := g.Fit(xs, ys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPAddObservation measures conditioning on one extra point via the
+// incremental Cholesky fast path, the per-measurement cost of pamo's
+// clipModels.refit after each observation.
+func BenchmarkGPAddObservation(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			base := benchGP(b, n)
+			x := []float64{0.31, 0.62, 0.93}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Shallow copy with a fresh Cholesky wrapper: Extend swaps
+				// the factor matrix pointer, so base's factor stays intact.
+				g := *base
+				g.chol = &mat.Cholesky{L: base.chol.L, Jitter: base.chol.Jitter}
+				if err := g.AddObservation(x, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGPPredict(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGP(b, n)
+		q := []float64{0.4, 0.5, 0.6}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Predict(q)
+			}
+		})
+	}
+}
+
+func BenchmarkGPPredictMean(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGP(b, n)
+		q := []float64{0.4, 0.5, 0.6}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.PredictMean(q)
+			}
+		})
+	}
+}
+
+// BenchmarkGPSampleJoint draws 32 joint samples at 16 query points — the
+// shape of one shared-sample acquisition round per clip metric.
+func BenchmarkGPSampleJoint(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGP(b, n)
+		rng := stats.NewRNG(7)
+		qs := make([][]float64, 16)
+		for i := range qs {
+			qs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.SampleJoint(qs, 32, rng)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/kernel"
 	"repro/internal/mat"
@@ -70,6 +71,68 @@ func (g *GP) Fit(xs [][]float64, ys []float64) error {
 	return g.refactor()
 }
 
+// AddObservation appends one training point without refactorizing from
+// scratch: the Cholesky factor is extended in O(n²) (mat.Cholesky.Extend)
+// and alpha is re-solved against the updated constant mean. When the
+// extension is numerically infeasible — or the GP has never been fitted —
+// it falls back to a full Fit/refactor, so the call always leaves the model
+// conditioned on the enlarged training set.
+//
+// Hyperparameter changes invalidate the factor entirely; callers that tune
+// hyperparameters must still go through Fit/OptimizeHyperparams.
+func (g *GP) AddObservation(x []float64, y float64) error {
+	if len(x) != g.Kern.Dim() {
+		return fmt.Errorf("gp: input has dim %d, kernel wants %d", len(x), g.Kern.Dim())
+	}
+	if g.chol == nil {
+		if len(g.x) == 0 {
+			return g.Fit([][]float64{x}, []float64{y})
+		}
+		return ErrNotFitted
+	}
+	n := len(g.x)
+	ks := mat.NewVector(n)
+	for i, xi := range g.x {
+		ks[i] = g.Kern.Eval(xi, x)
+	}
+	diag := g.Kern.Eval(x, x) + g.NoiseVar
+	if err := g.chol.Extend(ks, diag); err != nil {
+		// Numerically singular extension (e.g. a duplicate input): rebuild
+		// with CholJitter, which can rescue it with fresh diagonal jitter.
+		g.x = append(g.x, x)
+		g.y = append(g.y, y)
+		g.mean = g.y.Mean()
+		return g.refactor()
+	}
+	g.x = append(g.x, x)
+	g.y = append(g.y, y)
+	return g.SetTargets(g.y)
+}
+
+// SetTargets replaces the training targets in place (same training inputs)
+// and re-solves alpha against the existing Cholesky factor in O(n²). The
+// factor depends only on the inputs and hyperparameters, so wholesale
+// target rescaling — as done by standardizing wrappers after every new
+// measurement — does not need a refactorization.
+func (g *GP) SetTargets(ys []float64) error {
+	if g.chol == nil {
+		return ErrNotFitted
+	}
+	if len(ys) != len(g.x) {
+		return fmt.Errorf("gp: %d targets for %d inputs", len(ys), len(g.x))
+	}
+	if &ys[0] != &g.y[0] {
+		g.y = mat.Vector(ys).Clone()
+	}
+	g.mean = g.y.Mean()
+	resid := g.y.Clone()
+	for i := range resid {
+		resid[i] -= g.mean
+	}
+	g.alpha = g.chol.SolveVec(resid)
+	return nil
+}
+
 // refactor recomputes the Cholesky factor and alpha for the current data
 // and hyperparameters.
 func (g *GP) refactor() error {
@@ -114,6 +177,21 @@ func (g *GP) Predict(x []float64) (mu, variance float64) {
 		variance = 0
 	}
 	return mu, variance
+}
+
+// PredictMean returns only the posterior mean at x. It skips the O(n²)
+// triangular solve Predict performs for the variance, leaving n kernel
+// evaluations plus one dot product — the right call for hot loops (candidate
+// planning, outcome prediction) that never read the variance.
+func (g *GP) PredictMean(x []float64) float64 {
+	if g.chol == nil {
+		panic(ErrNotFitted)
+	}
+	var s float64
+	for i, xi := range g.x {
+		s += g.Kern.Eval(xi, x) * g.alpha[i]
+	}
+	return g.mean + s
 }
 
 // PredictBatch returns the joint posterior mean vector and covariance
@@ -166,15 +244,30 @@ func (g *GP) SampleJoint(xs [][]float64, nSamples int, rng *rand.Rand) [][]float
 	return SampleMVN(mu, cov, nSamples, rng)
 }
 
+// mvnFallbacks counts SampleMVN calls that degraded to the deterministic
+// mean because the covariance could not be factorized even with jitter.
+// Incremented atomically so concurrent samplers can share it; read it with
+// MVNFallbacks.
+var mvnFallbacks atomic.Uint64
+
+// MVNFallbacks returns the process-wide number of SampleMVN calls that
+// silently returned the deterministic mean instead of posterior draws.
+// Consumers (e.g. pamo's diagnostics) snapshot it before a run and report
+// the delta, so degraded sampling is visible instead of silent.
+func MVNFallbacks() uint64 { return mvnFallbacks.Load() }
+
 // SampleMVN draws nSamples vectors from N(mu, cov) using a jittered
 // Cholesky factor. A covariance that is numerically singular (common for
 // posterior covariances at nearly-duplicated points) is handled by the
 // jitter; if factorization still fails the deterministic mean is returned
-// for every sample.
+// for every sample and the MVNFallbacks counter is incremented.
 func SampleMVN(mu mat.Vector, cov *mat.Matrix, nSamples int, rng *rand.Rand) [][]float64 {
 	q := len(mu)
 	out := make([][]float64, nSamples)
 	c, err := mat.CholJitter(cov.Clone())
+	if err != nil {
+		mvnFallbacks.Add(1)
+	}
 	for s := 0; s < nSamples; s++ {
 		row := make([]float64, q)
 		copy(row, mu)

@@ -215,38 +215,152 @@ func TestSampleMVNDegenerateCovariance(t *testing.T) {
 	}
 }
 
-func BenchmarkGPFit100(b *testing.B) {
-	rng := stats.NewRNG(17)
+func TestAddObservationMatchesFullFit(t *testing.T) {
+	// Growing a GP one AddObservation at a time must agree with a fresh
+	// Fit on the same data: same predictions everywhere.
+	rng := stats.NewRNG(41)
+	f := func(x []float64) float64 { return math.Sin(3*x[0]) + 0.5*x[0] }
+	inc := New(kernel.NewRBF(1), 1e-4)
 	var xs [][]float64
 	var ys []float64
-	for i := 0; i < 100; i++ {
-		xs = append(xs, []float64{rng.Float64(), rng.Float64()})
-		ys = append(ys, rng.NormFloat64())
+	for i := 0; i < 20; i++ {
+		x := []float64{3 * rng.Float64()}
+		y := f(x)
+		xs = append(xs, x)
+		ys = append(ys, y)
+		if err := inc.AddObservation(x, y); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+		if inc.N() != i+1 {
+			t.Fatalf("N=%d after %d adds", inc.N(), i+1)
+		}
 	}
-	g := New(kernel.NewMatern52(2), 1e-3)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if err := g.Fit(xs, ys); err != nil {
-			b.Fatal(err)
+	full := New(kernel.NewRBF(1), 1e-4)
+	if err := full.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{-0.5, 0.1, 1.3, 2.2, 3.5} {
+		mi, vi := inc.Predict([]float64{q})
+		mf, vf := full.Predict([]float64{q})
+		if math.Abs(mi-mf) > 1e-8 || math.Abs(vi-vf) > 1e-8 {
+			t.Fatalf("x=%v: incremental (%v, %v) vs full (%v, %v)", q, mi, vi, mf, vf)
+		}
+	}
+	if math.Abs(inc.LogMarginalLikelihood()-full.LogMarginalLikelihood()) > 1e-8 {
+		t.Fatalf("LML %v vs %v", inc.LogMarginalLikelihood(), full.LogMarginalLikelihood())
+	}
+}
+
+func TestAddObservationDuplicateFallsBack(t *testing.T) {
+	// An exact duplicate input makes the extended covariance singular up to
+	// the noise term; with tiny noise the O(n²) extension may fail and must
+	// transparently fall back to the jittered refactorization.
+	g := New(kernel.NewRBF(1), 1e-10)
+	if err := g.Fit([][]float64{{0}, {1}}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.AddObservation([]float64{1}, 1.01); err != nil {
+			t.Fatalf("duplicate add %d: %v", i, err)
+		}
+	}
+	if g.N() != 5 {
+		t.Fatalf("N=%d, want 5", g.N())
+	}
+	mu, _ := g.Predict([]float64{1})
+	if math.IsNaN(mu) {
+		t.Fatal("NaN prediction after duplicate adds")
+	}
+}
+
+func TestAddObservationOnEmptyFits(t *testing.T) {
+	g := New(kernel.NewRBF(1), 1e-4)
+	if err := g.AddObservation([]float64{0.5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if err := g.AddObservation([]float64{1, 2}, 0); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestSetTargetsRescalesWithoutRefactor(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}}
+	ys := []float64{1, 2, 3}
+	g := New(kernel.NewRBF(1), 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	scaled := []float64{2, 4, 6}
+	if err := g.SetTargets(scaled); err != nil {
+		t.Fatal(err)
+	}
+	ref := New(kernel.NewRBF(1), 1e-6)
+	if err := ref.Fit(xs, scaled); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.3, 1.7} {
+		ms, _ := g.Predict([]float64{q})
+		mr, _ := ref.Predict([]float64{q})
+		if math.Abs(ms-mr) > 1e-9 {
+			t.Fatalf("x=%v: SetTargets mean %v vs refit %v", q, ms, mr)
+		}
+	}
+	if err := g.SetTargets([]float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := New(kernel.NewRBF(1), 1e-4).SetTargets([]float64{1}); err == nil {
+		t.Fatal("SetTargets on unfitted model accepted")
+	}
+}
+
+func TestPredictMeanMatchesPredict(t *testing.T) {
+	rng := stats.NewRNG(43)
+	g := New(kernel.NewMatern52(2), 1e-4)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 15; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]*x[1])
+	}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		mu, _ := g.Predict(q)
+		if got := g.PredictMean(q); math.Abs(got-mu) > 1e-12 {
+			t.Fatalf("PredictMean %v vs Predict %v", got, mu)
 		}
 	}
 }
 
-func BenchmarkGPPredict(b *testing.B) {
-	rng := stats.NewRNG(19)
-	var xs [][]float64
-	var ys []float64
-	for i := 0; i < 200; i++ {
-		xs = append(xs, []float64{rng.Float64(), rng.Float64()})
-		ys = append(ys, rng.NormFloat64())
+func TestMVNFallbackCounter(t *testing.T) {
+	// An indefinite "covariance" cannot be factorized even with jitter, so
+	// SampleMVN must return the mean and bump the fallback counter.
+	bad := mat.NewMatrix(2, 2)
+	bad.Set(0, 0, 1)
+	bad.Set(1, 1, -5)
+	mu := mat.NewVector(2)
+	mu[0], mu[1] = 3, 7
+	before := MVNFallbacks()
+	out := SampleMVN(mu, bad, 4, stats.NewRNG(44))
+	if got := MVNFallbacks() - before; got != 1 {
+		t.Fatalf("fallback counter delta %d, want 1", got)
 	}
-	g := New(kernel.NewMatern52(2), 1e-3)
-	if err := g.Fit(xs, ys); err != nil {
-		b.Fatal(err)
+	for _, row := range out {
+		if row[0] != 3 || row[1] != 7 {
+			t.Fatalf("fallback sample %v, want the mean", row)
+		}
 	}
-	q := []float64{0.3, 0.7}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		g.Predict(q)
+	// A healthy covariance must not bump it.
+	good := mat.Identity(2)
+	before = MVNFallbacks()
+	SampleMVN(mu, good, 4, stats.NewRNG(45))
+	if got := MVNFallbacks() - before; got != 0 {
+		t.Fatalf("healthy covariance bumped the counter by %d", got)
 	}
 }

@@ -82,6 +82,37 @@ func cholWithJitter(a *Matrix, jitter float64) (*Cholesky, error) {
 	return &Cholesky{L: l, Jitter: jitter}, nil
 }
 
+// Extend grows the factorization of the n×n matrix A to cover the (n+1)×
+// (n+1) matrix obtained by appending col as the new last row/column and
+// diag as the new diagonal element. It costs O(n²) — one triangular solve
+// plus a copy — instead of the O(n³) of refactorizing from scratch. The
+// jitter that stabilized the original factorization is applied to the new
+// diagonal element too, so the extended factor represents A' + Jitter·I
+// exactly like the original represented A + Jitter·I.
+//
+// It fails with ErrNotPositiveDefinite when the Schur complement of the new
+// point is non-positive (the extended matrix is numerically singular);
+// callers should fall back to a full CholJitter refactorization.
+func (c *Cholesky) Extend(col Vector, diag float64) error {
+	n := c.L.Rows
+	if len(col) != n {
+		panic(fmt.Sprintf("mat: Cholesky Extend dims %d vs %d", n, len(col)))
+	}
+	v := ForwardSolve(c.L, col)
+	d := diag + c.Jitter - v.Dot(v)
+	if d <= 0 || math.IsNaN(d) {
+		return ErrNotPositiveDefinite
+	}
+	l := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(l.Data[i*(n+1):i*(n+1)+i+1], c.L.Data[i*n:i*n+i+1])
+	}
+	copy(l.Data[n*(n+1):n*(n+1)+n], v)
+	l.Set(n, n, math.Sqrt(d))
+	c.L = l
+	return nil
+}
+
 // SolveVec solves A·x = b given A = L·Lᵀ, returning a new vector.
 func (c *Cholesky) SolveVec(b Vector) Vector {
 	y := ForwardSolve(c.L, b)

@@ -365,3 +365,128 @@ func BenchmarkCholesky50(b *testing.B) {
 		}
 	}
 }
+
+func TestCholeskyExtendMatchesFullFactorization(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, n := range []int{1, 3, 8, 25} {
+		a := randSPD(rng, n+1)
+		// Factor the leading n×n block, then extend by the last row/col.
+		sub := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sub.Set(i, j, a.At(i, j))
+			}
+		}
+		c, err := Chol(sub)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		col := NewVector(n)
+		for i := 0; i < n; i++ {
+			col[i] = a.At(i, n)
+		}
+		if err := c.Extend(col, a.At(n, n)); err != nil {
+			t.Fatalf("n=%d extend: %v", n, err)
+		}
+		full, err := Chol(a)
+		if err != nil {
+			t.Fatalf("n=%d full: %v", n, err)
+		}
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= i; j++ {
+				if !almostEq(c.L.At(i, j), full.L.At(i, j), 1e-9*float64(n+1)) {
+					t.Fatalf("n=%d: L[%d][%d]=%v want %v", n, i, j, c.L.At(i, j), full.L.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyExtendRepeatedSolves(t *testing.T) {
+	// Grow a factorization one point at a time and check A·x = b solves
+	// against a from-scratch factorization at every size.
+	rng := rand.New(rand.NewPCG(21, 22))
+	const max = 12
+	a := randSPD(rng, max)
+	c, err := Chol(&Matrix{Rows: 1, Cols: 1, Data: []float64{a.At(0, 0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n < max; n++ {
+		col := NewVector(n)
+		for i := 0; i < n; i++ {
+			col[i] = a.At(i, n)
+		}
+		if err := c.Extend(col, a.At(n, n)); err != nil {
+			t.Fatalf("extend to %d: %v", n+1, err)
+		}
+		b := NewVector(n + 1)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := c.SolveVec(b)
+		ax := NewVector(n + 1)
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				ax[i] += a.At(i, j) * x[j]
+			}
+		}
+		for i := range b {
+			if !almostEq(ax[i], b[i], 1e-8) {
+				t.Fatalf("n=%d: (Ax)[%d]=%v want %v", n+1, i, ax[i], b[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyExtendPreservesJitter(t *testing.T) {
+	// A factor produced with jitter must extend the jittered matrix, not the
+	// raw one: reconstructing L·Lᵀ should give A + Jitter·I on the diagonal.
+	a := randSPD(rand.New(rand.NewPCG(31, 32)), 4)
+	c, err := cholWithJitter(a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewVector(4)
+	for i := range col {
+		col[i] = 0.1 * float64(i)
+	}
+	const diag = 6.0
+	if err := c.Extend(col, diag); err != nil {
+		t.Fatal(err)
+	}
+	recon := c.L.Mul(c.L.T())
+	if !almostEq(recon.At(4, 4), diag+0.5, 1e-9) {
+		t.Fatalf("extended diagonal %v, want %v", recon.At(4, 4), diag+0.5)
+	}
+}
+
+func TestCholeskyExtendRejectsSingular(t *testing.T) {
+	// Extending with a duplicate of an existing point makes the matrix
+	// exactly singular; Extend must refuse rather than produce NaNs.
+	a := Identity(2)
+	a.Set(0, 1, 0.9)
+	a.Set(1, 0, 0.9)
+	c, err := Chol(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewVector(2)
+	col[0], col[1] = 1, 0.9 // identical to row 0
+	if err := c.Extend(col, 1); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestCholeskyExtendDimMismatchPanics(t *testing.T) {
+	c, err := Chol(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong column length")
+		}
+	}()
+	_ = c.Extend(NewVector(2), 1)
+}

@@ -1,0 +1,55 @@
+package pamo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchOpts mirrors smallOpts but with the knobs the acquisition hot path
+// actually scales in: candidate pool size and the acquisition variant.
+func benchOpts(candPool int, perTrial bool) Options {
+	o := smallOpts(2024)
+	o.CandPool = candPool
+	o.PerTrialAcq = perTrial
+	return o
+}
+
+// BenchmarkSelectBatch measures one greedy batch construction — the BO
+// loop's dominant cost — for the shared-sample and legacy per-trial
+// acquisition paths at small and large candidate pools.
+func BenchmarkSelectBatch(b *testing.B) {
+	for _, candPool := range []int{8, 64} {
+		for _, mode := range []struct {
+			name     string
+			perTrial bool
+		}{{"shared", false}, {"perTrial", true}} {
+			b.Run(fmt.Sprintf("pool%d/%s", candPool, mode.name), func(b *testing.B) {
+				s := readyScheduler(b, 4, 3, benchOpts(candPool, mode.perTrial))
+				cands := s.generateCandidates()
+				if len(cands) == 0 {
+					b.Skip("no feasible candidates")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.selectBatch(cands)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRefit measures re-conditioning all per-clip outcome GPs after one
+// observation round — the incremental Cholesky path versus repeated full
+// fits would differ here by O(n) per call.
+func BenchmarkRefit(b *testing.B) {
+	s := readyScheduler(b, 4, 3, smallOpts(2024))
+	clip := s.sys.Clips[0]
+	cfg := s.randomConfigs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.clips[0].addMeasurement(cfg, s.prof.Measure(clip, cfg))
+		if err := s.clips[0].refit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pamo
 import (
 	"fmt"
 
+	"repro/internal/gp"
 	"repro/internal/stats"
 )
 
@@ -16,6 +17,17 @@ type MetricDiag struct {
 }
 
 var metricNames = [numMetrics]string{"accuracy", "proc_time", "frame_bits", "compute", "power"}
+
+// SamplingFallbacks returns how many joint-posterior sampling calls since
+// this scheduler was constructed degraded to the deterministic mean because
+// the covariance could not be factorized (gp.SampleMVN's silent fallback).
+// A non-zero count means part of the acquisition search ran blind to model
+// uncertainty — worth surfacing in any trace/bench report. The underlying
+// counter is process-wide, so runs of concurrently active schedulers are
+// attributed to all of them.
+func (s *Scheduler) SamplingFallbacks() uint64 {
+	return gp.MVNFallbacks() - s.mvnBase
+}
 
 // Diagnostics reports the leave-one-out fit quality of every clip-metric
 // outcome GP — the live-system counterpart of the paper's Figure 8 check.

@@ -71,7 +71,13 @@ func (m *metricGP) add(x []float64, y float64) {
 	m.ys = append(m.ys, y)
 }
 
-// refit standardizes the targets and re-conditions the GP.
+// refit standardizes the targets and re-conditions the GP. A GP that is
+// already conditioned on a prefix of the data — the shape of every
+// per-observation refit, since metricGP only ever appends measurements — is
+// extended through the incremental Cholesky fast path (O(n²) per new point)
+// and then handed the rescaled target vector, which only re-solves alpha.
+// Only the first fit and hyperparameter changes pay the full O(n³)
+// refactorization.
 func (m *metricGP) refit() error {
 	if len(m.xs) == 0 {
 		return fmt.Errorf("pamo: refit with no data")
@@ -88,6 +94,14 @@ func (m *metricGP) refit() error {
 	for i, y := range m.ys {
 		scaled[i] = y / sd
 	}
+	if n := m.g.N(); n > 0 && n <= len(m.xs) {
+		for i := n; i < len(m.xs); i++ {
+			if err := m.g.AddObservation(m.xs[i], scaled[i]); err != nil {
+				return m.g.Fit(m.xs, scaled)
+			}
+		}
+		return m.g.SetTargets(scaled)
+	}
 	return m.g.Fit(m.xs, scaled)
 }
 
@@ -96,10 +110,12 @@ func (m *metricGP) optimize(nStarts int, rng *rand.Rand) error {
 	return m.g.OptimizeHyperparams(nStarts, rng)
 }
 
-// mean returns the posterior mean at config c in physical units.
+// mean returns the posterior mean at config c in physical units. It uses
+// the variance-free prediction path: candidate planning calls this for
+// every clip of every pool candidate, and the O(n²) variance solve of a
+// full Predict is pure waste there.
 func (m *metricGP) mean(c videosim.Config) float64 {
-	mu, _ := m.g.Predict(encodeCfg(c))
-	return mu * m.scale
+	return m.g.PredictMean(encodeCfg(c)) * m.scale
 }
 
 // sampleJoint draws joint posterior samples (physical units) at the given

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/eva"
+	"repro/internal/gp"
 	"repro/internal/objective"
 	"repro/internal/pref"
 	"repro/internal/sched"
@@ -34,7 +35,23 @@ type Options struct {
 	PrefPairs     int         // V: decision-maker comparisons (default 18)
 	PrefPool      int         // candidate outcome vectors for EUBO pairs (default 24)
 	Batch         int         // b: candidates recommended per iteration (default 4)
-	MCSamples     int         // Monte-Carlo samples inside acquisitions (default 32)
+	MCSamples     int         // Monte-Carlo samples inside per-trial acquisitions (default 32)
+	// SharedDraws is the number of joint posterior draws for the
+	// shared-sample acquisition path (default 4×MCSamples). One draw set
+	// over the candidate∪observation universe is reused by every greedy
+	// (slot, candidate) score, so the budget can be larger than MCSamples
+	// at a fraction of the legacy path's sampling cost. Sharing draws also
+	// acts as common random numbers for the greedy argmax: competing
+	// candidates are compared under identical noise, so their score
+	// *differences* have far lower variance than independently re-sampled
+	// per-trial estimates of the same budget.
+	SharedDraws int
+	// PerTrialAcq selects the legacy acquisition path that re-samples the
+	// joint posterior for every trial batch (O(b·CandPool) sampling passes
+	// per iteration). It exists as a validation reference for the default
+	// shared-sample path and for experiments that want fully independent
+	// Monte-Carlo noise per trial.
+	PerTrialAcq bool
 	CandPool      int         // candidate configurations per iteration (default 20)
 	MaxIter       int         // BO iteration cap (default 12)
 	Delta         float64     // convergence threshold δ on benefit change (default 0.02)
@@ -74,6 +91,7 @@ func (o Options) Validate() error {
 		"PrefPairs": o.PrefPairs, "PrefPool": o.PrefPool,
 		"Batch": o.Batch, "MCSamples": o.MCSamples,
 		"CandPool": o.CandPool, "MaxIter": o.MaxIter, "Workers": o.Workers,
+		"SharedDraws": o.SharedDraws,
 	} {
 		if v < 0 {
 			return fmt.Errorf("pamo: option %s is negative (%d)", name, v)
@@ -107,6 +125,7 @@ func (o Options) withDefaults() Options {
 	def(&o.PrefPool, 24)
 	def(&o.Batch, 4)
 	def(&o.MCSamples, 32)
+	def(&o.SharedDraws, 4*o.MCSamples)
 	def(&o.CandPool, 20)
 	def(&o.MaxIter, 12)
 	if o.Delta == 0 {
@@ -140,6 +159,11 @@ type Result struct {
 	Converged  bool
 	PrefPairs  int // comparisons actually asked
 	Profiles   int // profiling measurements taken
+	// MVNFallbacks counts joint-posterior sampling calls during this run
+	// that degraded to the deterministic mean because a covariance could
+	// not be factorized (see gp.SampleMVN). Non-zero values mean part of
+	// the acquisition ran without posterior uncertainty.
+	MVNFallbacks uint64
 }
 
 // Scheduler is the PaMO scheduler instance.
@@ -156,6 +180,7 @@ type Scheduler struct {
 	obs            []Observation
 	profiles       int
 	tournamentAsks int
+	mvnBase        uint64 // gp.MVNFallbacks() snapshot at construction
 }
 
 // New builds a PaMO scheduler for the system. dm answers pairwise
@@ -168,12 +193,13 @@ func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
 		prof = videosim.NewProfiler(opt.ProfilerNoise, stats.NewRNG(opt.Seed+0x70F1))
 	}
 	s := &Scheduler{
-		sys:  sys,
-		dm:   dm,
-		opt:  opt,
-		rng:  rng,
-		prof: prof,
-		norm: objective.NewNormalizer(sys),
+		sys:     sys,
+		dm:      dm,
+		opt:     opt,
+		rng:     rng,
+		prof:    prof,
+		norm:    objective.NewNormalizer(sys),
+		mvnBase: gp.MVNFallbacks(),
 	}
 	s.clips = make([]*clipModels, sys.M())
 	for i := range s.clips {
@@ -237,6 +263,7 @@ func (s *Scheduler) Run() (*Result, error) {
 		res.Best = s.finalTournament(3)
 	}
 	res.Profiles = s.profiles
+	res.MVNFallbacks = s.SamplingFallbacks()
 	if s.learner != nil {
 		res.PrefPairs = s.learner.Model.NumComparisons() + s.tournamentAsks
 	}

@@ -21,6 +21,10 @@ import (
 type benefitSampler struct {
 	s     *Scheduler
 	cands []candidate // the candidate universe this sampler covers
+	// workers, when positive, overrides Options.Workers for the per-clip
+	// sampling fan-out. The per-trial acquisition scan sets it to 1 so the
+	// outer candidate pool is the only source of parallelism.
+	workers int
 }
 
 // point encodes candidate index i as a 1-vector so it fits acq.Sampler.
@@ -50,7 +54,10 @@ func (bs *benefitSampler) SampleBenefit(points [][]float64, nSamples int, rng *r
 	type draw struct{ byMetric [numMetrics][][]float64 }
 	draws := make([]draw, m)
 	seedBase := rng.Uint64()
-	workers := bs.s.opt.Workers
+	workers := bs.workers
+	if workers <= 0 {
+		workers = bs.s.opt.Workers
+	}
 	if workers <= 0 {
 		workers = goruntime.GOMAXPROCS(0)
 	}
@@ -100,29 +107,53 @@ func (bs *benefitSampler) SampleBenefit(points [][]float64, nSamples int, rng *r
 			samples[si][j] = v
 		}
 	}
-	// Map through the (learned or true) preference to benefit samples.
+	// Map through the (learned or true) preference to benefit samples. Each
+	// outcome sample needs its own preference-posterior draw at q points —
+	// O(q³)-ish work that dominates when the shared-sample path covers a
+	// large universe — so fan the samples out over the same worker pool,
+	// again with per-task RNG streams for schedule-independent results.
 	out := make([][]float64, nSamples)
+	prefSeed := rng.Uint64()
 	for si := 0; si < nSamples; si++ {
-		row := make([]float64, q)
-		if bs.s.opt.UseTruePref {
-			for j := range row {
-				row[j] = bs.s.opt.TruePref.Benefit(bs.s.norm.Normalize(samples[si][j]))
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			row := make([]float64, q)
+			if bs.s.opt.UseTruePref {
+				for j := range row {
+					row[j] = bs.s.opt.TruePref.Benefit(bs.s.norm.Normalize(samples[si][j]))
+				}
+			} else {
+				ys := make([][]float64, q)
+				for j := range ys {
+					ys[j] = bs.s.norm.Normalize(samples[si][j]).Slice()
+				}
+				sampleRng := rand.New(rand.NewPCG(prefSeed, uint64(si)))
+				row = bs.s.learner.Model.Sample(ys, 1, sampleRng)[0]
 			}
-		} else {
-			ys := make([][]float64, q)
-			for j := range ys {
-				ys[j] = bs.s.norm.Normalize(samples[si][j]).Slice()
-			}
-			row = bs.s.learner.Model.Sample(ys, 1, rng)[0]
-		}
-		out[si] = row
+			out[si] = row
+		}(si)
 	}
+	wg.Wait()
 	return out
 }
 
 // selectBatch implements line 15 of Algorithm 2: greedy sequential batch
 // construction under the configured acquisition function.
+//
+// The default path samples the joint posterior over the full candidate ∪
+// observation universe once and scores every trial batch as a column-max
+// over the shared draws (acq.SharedScorer): the marginals of a joint MVN
+// restricted to a subset match sampling the subset directly, so the scores
+// are statistically equivalent to the per-trial path at a tiny fraction of
+// its O(b·CandPool) GP sampling passes. Options.PerTrialAcq restores the
+// legacy re-sampling path.
 func (s *Scheduler) selectBatch(cands []candidate) []candidate {
+	if s.opt.PerTrialAcq {
+		return s.selectBatchPerTrial(cands)
+	}
 	b := s.opt.Batch
 	if b > len(cands) {
 		b = len(cands)
@@ -135,6 +166,77 @@ func (s *Scheduler) selectBatch(cands []candidate) []candidate {
 		universe = append(universe, s.observationCandidate(o))
 	}
 	bs := &benefitSampler{s: s, cands: universe}
+	pts := make([][]float64, len(universe))
+	for i := range pts {
+		pts[i] = point(i)
+	}
+	// One sampling pass feeds the whole greedy construction. The stream is
+	// keyed on the observation count so every BO iteration draws fresh
+	// noise under the same Options.Seed.
+	rng := rand.New(rand.NewPCG(s.opt.Seed^(uint64(len(s.obs))*0x9E3779B97F4A7C15), 0xACC))
+	z := bs.SampleBenefit(pts, s.opt.SharedDraws, rng)
+
+	var scorer *acq.SharedScorer
+	switch s.opt.Acq {
+	case QEI:
+		incumbent := math.Inf(-1)
+		for _, o := range s.obs {
+			if o.Benefit > incumbent {
+				incumbent = o.Benefit
+			}
+		}
+		scorer = acq.NewSharedQEI(z, incumbent)
+	case QUCB:
+		scorer = acq.NewSharedQUCB(z, s.opt.UCBBeta)
+	case QSR:
+		scorer = acq.NewSharedQSR(z)
+	default:
+		obsCols := make([]int, len(s.obs))
+		for i := range obsCols {
+			obsCols[i] = obsStart + i
+		}
+		scorer = acq.NewSharedQNEI(z, obsCols)
+	}
+
+	chosen := make([]int, 0, b)
+	inBatch := make([]bool, len(cands))
+	scores := make([]float64, len(cands))
+	for len(chosen) < b {
+		// SharedScorer.Score is pure given the draws, so the parallel scan
+		// is deterministic for any worker count.
+		s.scanScores(scores, inBatch, scorer.Score)
+		bestIdx := argmaxAvailable(scores, inBatch)
+		if bestIdx < 0 {
+			break
+		}
+		scorer.Add(bestIdx)
+		inBatch[bestIdx] = true
+		chosen = append(chosen, bestIdx)
+	}
+	out := make([]candidate, len(chosen))
+	for i, ci := range chosen {
+		out[i] = cands[ci]
+	}
+	return out
+}
+
+// selectBatchPerTrial is the legacy acquisition path: every trial batch
+// draws a fresh joint sample set. Kept as a validation reference for the
+// shared-sample path (their qNEI estimates agree within Monte-Carlo error)
+// and for experiments wanting independent noise per trial.
+func (s *Scheduler) selectBatchPerTrial(cands []candidate) []candidate {
+	b := s.opt.Batch
+	if b > len(cands) {
+		b = len(cands)
+	}
+	universe := append([]candidate(nil), cands...)
+	obsStart := len(universe)
+	for _, o := range s.obs {
+		universe = append(universe, s.observationCandidate(o))
+	}
+	// The candidate scan below is the parallel axis, so the sampler itself
+	// runs serially inside each score call.
+	bs := &benefitSampler{s: s, cands: universe, workers: 1}
 
 	obsPts := make([][]float64, 0, len(s.obs))
 	for i := range s.obs {
@@ -149,33 +251,35 @@ func (s *Scheduler) selectBatch(cands []candidate) []candidate {
 
 	chosen := make([]int, 0, b)
 	inBatch := make([]bool, len(cands))
+	scores := make([]float64, len(cands))
 	for len(chosen) < b {
-		bestIdx, bestVal := -1, math.Inf(-1)
-		for ci := range cands {
-			if inBatch[ci] {
-				continue
-			}
+		slot := uint64(len(chosen))
+		s.scanScores(scores, inBatch, func(ci int) float64 {
 			trial := make([][]float64, 0, len(chosen)+1)
 			for _, c := range chosen {
 				trial = append(trial, point(c))
 			}
 			trial = append(trial, point(ci))
-			rng := rand.New(rand.NewPCG(s.opt.Seed+uint64(len(chosen))*131+uint64(ci), 0xACC))
-			var v float64
+			// Each candidate evaluation owns a PCG stream keyed on two
+			// distinct words (Seed^slot, ci): no (slot, candidate) pair can
+			// collide with another, unlike the old Seed+slot·131+ci
+			// arithmetic (slot 0/ci 131 aliased slot 1/ci 0), which
+			// correlated acquisition noise across trials. Per-candidate
+			// streams also keep the parallel scan deterministic regardless
+			// of goroutine scheduling.
+			rng := rand.New(rand.NewPCG(s.opt.Seed^slot, uint64(ci)))
 			switch s.opt.Acq {
 			case QEI:
-				v = acq.QEI(bs, trial, incumbent, s.opt.MCSamples, rng)
+				return acq.QEI(bs, trial, incumbent, s.opt.MCSamples, rng)
 			case QUCB:
-				v = acq.QUCB(bs, trial, s.opt.UCBBeta, s.opt.MCSamples, rng)
+				return acq.QUCB(bs, trial, s.opt.UCBBeta, s.opt.MCSamples, rng)
 			case QSR:
-				v = acq.QSR(bs, trial, s.opt.MCSamples, rng)
+				return acq.QSR(bs, trial, s.opt.MCSamples, rng)
 			default:
-				v = acq.QNEI(bs, trial, obsPts, s.opt.MCSamples, rng)
+				return acq.QNEI(bs, trial, obsPts, s.opt.MCSamples, rng)
 			}
-			if v > bestVal {
-				bestVal, bestIdx = v, ci
-			}
-		}
+		})
+		bestIdx := argmaxAvailable(scores, inBatch)
 		if bestIdx < 0 {
 			break
 		}
@@ -187,6 +291,54 @@ func (s *Scheduler) selectBatch(cands []candidate) []candidate {
 		out[i] = cands[ci]
 	}
 	return out
+}
+
+// scanScores evaluates score(ci) for every candidate not yet in the batch
+// across the configured worker pool, writing results into scores. The score
+// function must be deterministic per candidate and safe for concurrent use;
+// the scan result is then identical for every worker count.
+func (s *Scheduler) scanScores(scores []float64, inBatch []bool, score func(ci int) float64) {
+	workers := s.opt.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > len(scores) {
+		workers = len(scores)
+	}
+	if workers <= 1 {
+		for ci := range scores {
+			if !inBatch[ci] {
+				scores[ci] = score(ci)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < len(scores); ci += workers {
+				if !inBatch[ci] {
+					scores[ci] = score(ci)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// argmaxAvailable returns the index of the highest score among candidates
+// not yet in the batch, breaking ties toward the lowest index (matching the
+// serial scan's first-wins behavior), or -1 when none is available.
+func argmaxAvailable(scores []float64, inBatch []bool) int {
+	bestIdx, bestVal := -1, math.Inf(-1)
+	for ci, v := range scores {
+		if !inBatch[ci] && v > bestVal {
+			bestVal, bestIdx = v, ci
+		}
+	}
+	return bestIdx
 }
 
 // observationCandidate rebuilds a candidate view of a past observation so

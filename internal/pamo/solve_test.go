@@ -1,0 +1,216 @@
+package pamo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/acq"
+	"repro/internal/objective"
+	"repro/internal/pref"
+	"repro/internal/videosim"
+)
+
+// readyScheduler builds a scheduler and runs it up to the start of the BO
+// loop (outcome models fitted, preference learned, initial observations
+// taken), so selectBatch can be exercised directly.
+func readyScheduler(tb testing.TB, m, n int, opt Options) *Scheduler {
+	tb.Helper()
+	sys := testSys(m, n, 7)
+	s := New(sys, &pref.Oracle{Pref: objective.UniformPreference()}, opt)
+	if err := s.profileInit(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.learnPreference(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.initialObservations(); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestSharedQNEIAgreesWithPerTrialOnFittedModel(t *testing.T) {
+	// Acceptance check for the shared-sample path: on a fixed fitted model,
+	// the shared-draw qNEI estimate of a trial batch must agree with the
+	// legacy per-trial estimate within Monte-Carlo error.
+	s := readyScheduler(t, 4, 3, smallOpts(5))
+	cands := s.generateCandidates()
+	if len(cands) < 3 {
+		t.Skipf("only %d candidates", len(cands))
+	}
+
+	universe := append([]candidate(nil), cands...)
+	obsStart := len(universe)
+	for _, o := range s.obs {
+		universe = append(universe, s.observationCandidate(o))
+	}
+	bs := &benefitSampler{s: s, cands: universe}
+	obsPts := make([][]float64, 0, len(s.obs))
+	obsCols := make([]int, 0, len(s.obs))
+	for i := range s.obs {
+		obsPts = append(obsPts, point(obsStart+i))
+		obsCols = append(obsCols, obsStart+i)
+	}
+
+	const nSamples = 4000
+	trialCols := []int{0, 2}
+	trial := [][]float64{point(0), point(2)}
+	perTrial := acq.QNEI(bs, trial, obsPts, nSamples, rand.New(rand.NewPCG(1, 2)))
+
+	pts := make([][]float64, len(universe))
+	for i := range pts {
+		pts[i] = point(i)
+	}
+	z := bs.SampleBenefit(pts, nSamples, rand.New(rand.NewPCG(3, 4)))
+	scorer := acq.NewSharedQNEI(z, obsCols)
+	scorer.Add(trialCols[0])
+	shared := scorer.Score(trialCols[1])
+
+	// Monte-Carlo error of each estimate is O(1/√nSamples); the benefit
+	// scale here is O(1), so 3σ-ish tolerance ≈ 0.05 at 4000 samples.
+	if math.Abs(perTrial-shared) > 0.05*math.Max(1, math.Abs(perTrial)) {
+		t.Fatalf("per-trial qNEI %v vs shared %v", perTrial, shared)
+	}
+}
+
+func TestSelectBatchSharedAndPerTrialPickPlausibleBatches(t *testing.T) {
+	// Both paths must return distinct, in-range candidate batches of the
+	// configured size on the same scheduler state.
+	s := readyScheduler(t, 4, 3, smallOpts(6))
+	cands := s.generateCandidates()
+	if len(cands) < int(s.opt.Batch) {
+		t.Skipf("only %d candidates", len(cands))
+	}
+	check := func(batch []candidate) {
+		t.Helper()
+		if len(batch) != s.opt.Batch {
+			t.Fatalf("batch size %d, want %d", len(batch), s.opt.Batch)
+		}
+		seen := map[string]bool{}
+		for _, c := range batch {
+			key := cfgKey(c.cfgs)
+			if seen[key] {
+				t.Fatalf("duplicate candidate in batch: %s", key)
+			}
+			seen[key] = true
+		}
+	}
+	check(s.selectBatch(cands))
+	s.opt.PerTrialAcq = true
+	check(s.selectBatch(cands))
+}
+
+func TestSelectBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The parallel greedy scan must not let goroutine scheduling leak into
+	// the selection, on either acquisition path.
+	for _, perTrial := range []bool{false, true} {
+		opt := smallOpts(9)
+		opt.PerTrialAcq = perTrial
+		pick := func(workers int) [][]videosim.Config {
+			s := readyScheduler(t, 4, 3, opt)
+			s.opt.Workers = workers
+			cands := s.generateCandidates()
+			var out [][]videosim.Config
+			for _, c := range s.selectBatch(cands) {
+				out = append(out, c.cfgs)
+			}
+			return out
+		}
+		serial := pick(1)
+		parallel := pick(8)
+		if len(serial) != len(parallel) {
+			t.Fatalf("perTrial=%v: batch sizes %d vs %d", perTrial, len(serial), len(parallel))
+		}
+		for i := range serial {
+			for j := range serial[i] {
+				if serial[i][j] != parallel[i][j] {
+					t.Fatalf("perTrial=%v: workers changed slot %d: %+v vs %+v",
+						perTrial, i, serial[i], parallel[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPerTrialAcqRunsEndToEnd(t *testing.T) {
+	sys := testSys(4, 3, 21)
+	opt := smallOpts(4)
+	opt.PerTrialAcq = true
+	opt.MaxIter = 2
+	res, err := New(sys, &pref.Oracle{Pref: objective.UniformPreference()}, opt).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Decision.Configs == nil {
+		t.Fatal("no decision")
+	}
+}
+
+func TestRefitIncrementalMatchesFullFit(t *testing.T) {
+	// The incremental per-observation refit path must condition the GP on
+	// exactly the same posterior as a from-scratch fit of the same data.
+	rng := rand.New(rand.NewPCG(5, 6))
+	inc := newMetricGP()
+	full := newMetricGP()
+	addBoth := func(cfg videosim.Config, y float64) {
+		inc.add(encodeCfg(cfg), y)
+		full.add(encodeCfg(cfg), y)
+	}
+	cfgAt := func(i int) videosim.Config {
+		return videosim.Config{
+			Resolution: videosim.Resolutions[i%len(videosim.Resolutions)],
+			FPS:        videosim.FrameRates[(i/2)%len(videosim.FrameRates)],
+		}
+	}
+	// Bulk phase (like profileInit), one refit.
+	for i := 0; i < 10; i++ {
+		addBoth(cfgAt(i), rng.NormFloat64()+2)
+	}
+	if err := inc.refit(); err != nil {
+		t.Fatal(err)
+	}
+	// Streaming phase (like observe): inc refits after every point, full is
+	// refitted from scratch once at the end.
+	for i := 10; i < 25; i++ {
+		y := rng.NormFloat64() + 2
+		addBoth(cfgAt(i), y)
+		if err := inc.refit(); err != nil {
+			t.Fatalf("incremental refit %d: %v", i, err)
+		}
+	}
+	scaled := make([]float64, len(full.ys))
+	for i, y := range full.ys {
+		scaled[i] = y / inc.scale
+	}
+	if err := full.g.Fit(full.xs, scaled); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		cfg := videosim.Config{
+			Resolution: videosim.Resolutions[rng.IntN(len(videosim.Resolutions))],
+			FPS:        videosim.FrameRates[rng.IntN(len(videosim.FrameRates))],
+		}
+		x := encodeCfg(cfg)
+		mi, vi := inc.g.Predict(x)
+		mf, vf := full.g.Predict(x)
+		if math.Abs(mi-mf) > 1e-7 || math.Abs(vi-vf) > 1e-7 {
+			t.Fatalf("cfg %+v: incremental (%v, %v) vs full (%v, %v)", cfg, mi, vi, mf, vf)
+		}
+	}
+}
+
+func TestSamplingFallbacksVisible(t *testing.T) {
+	sys := testSys(3, 3, 52)
+	s := New(sys, &pref.Oracle{Pref: objective.UniformPreference()}, smallOpts(11))
+	if got := s.SamplingFallbacks(); got != 0 {
+		t.Fatalf("fallbacks before run: %d", got)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MVNFallbacks != s.SamplingFallbacks() {
+		t.Fatalf("Result.MVNFallbacks %d vs scheduler %d", res.MVNFallbacks, s.SamplingFallbacks())
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/hungarian"
@@ -73,8 +73,8 @@ func GroupStreams(streams []Stream, n int) ([][]int, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return streams[order[a]].Period.Cmp(streams[order[b]].Period) < 0
+	slices.SortStableFunc(order, func(a, b int) int {
+		return streams[a].Period.Cmp(streams[b].Period)
 	})
 	// Line 2: priority I_i = #{j < i : T_i mod T_j = 0} over the
 	// period-sorted sequence.
@@ -93,7 +93,7 @@ func GroupStreams(streams []Stream, n int) ([][]int, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return prio[idx[a]] < prio[idx[b]] })
+	slices.SortStableFunc(idx, func(a, b int) int { return prio[a] - prio[b] })
 
 	// Lines 4–19: greedy grouping.
 	groups := make([][]int, n)

@@ -1,8 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -48,7 +49,7 @@ func (p Plan) Timelines(streams []Stream) []Timeline {
 			}
 			offset += s.Proc
 		}
-		sort.Slice(tl.Slots, func(a, b int) bool { return tl.Slots[a].Start < tl.Slots[b].Start })
+		slices.SortFunc(tl.Slots, func(a, b Slot) int { return cmp.Compare(a.Start, b.Start) })
 		out = append(out, tl)
 	}
 	return out
