@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/pamo"
 	"repro/internal/plot"
 )
@@ -33,6 +35,9 @@ func main() {
 	svg := flag.String("svg", "", "also write SVG charts into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	events := flag.String("events", "", "stream telemetry events of every PaMO run as JSONL to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address while running")
+	jsonOut := flag.String("json", "", "write a machine-readable run report (figure wall times + per-phase breakdown) to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -72,18 +77,52 @@ func main() {
 		}
 	}
 
+	// The recorder (if any) is shared by every figure's PaMO runs, so the
+	// phase breakdown in -json / -events covers the whole invocation.
+	var rec *obs.Recorder
+	var eventsFile *os.File
+	if *events != "" || *metricsAddr != "" || *jsonOut != "" {
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+				os.Exit(1)
+			}
+			eventsFile = f
+			rec = obs.NewRecorder(f)
+		} else {
+			rec = obs.NewRecorder(nil) // aggregate-only: spans feed -json
+		}
+		if *metricsAddr != "" {
+			addr, err := rec.Registry().Serve(*metricsAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+		}
+	}
+
 	var po pamo.Options
 	if *fast {
 		po = pamo.Options{InitProfiles: 12, InitObs: 3, PrefPairs: 10, PrefPool: 12,
 			Batch: 2, MCSamples: 16, CandPool: 10, MaxIter: 5}
 	}
+	po.Obs = rec
 
 	w := os.Stdout
 	start := time.Now()
+	type figTime struct {
+		Figure  string  `json:"figure"`
+		Seconds float64 `json:"seconds"`
+	}
+	var figTimes []figTime
 	run := func(name string, f func()) {
 		t0 := time.Now()
 		f()
-		fmt.Fprintf(w, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+		d := time.Since(t0)
+		figTimes = append(figTimes, figTime{Figure: name, Seconds: d.Seconds()})
+		fmt.Fprintf(w, "[%s done in %v]\n", name, d.Round(time.Millisecond))
 	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -170,5 +209,69 @@ func main() {
 			writeChart("noise", exp.NoiseChart(exp.NoiseSensitivity(w, exp.NoiseConfig{Reps: *reps, Seed: *seed, PaMOOpt: po})))
 		})
 	}
-	fmt.Fprintf(w, "\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+	total := time.Since(start)
+	fmt.Fprintf(w, "\ntotal: %v\n", total.Round(time.Millisecond))
+
+	if rec != nil {
+		if *jsonOut != "" {
+			writeReport(*jsonOut, *fig, *seed, *fast, total, figTimes, rec.SpanSummary())
+		}
+		if err := rec.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+		if eventsFile != nil {
+			if err := eventsFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// phaseEntry is one row of the report's per-phase breakdown, derived from
+// the recorder's span aggregates across every PaMO run of the invocation.
+type phaseEntry struct {
+	Span    string  `json:"span"`
+	Count   int     `json:"count"`
+	TotalS  float64 `json:"total_s"`
+	MeanS   float64 `json:"mean_s"`
+	MinS    float64 `json:"min_s"`
+	MaxS    float64 `json:"max_s"`
+	PctWall float64 `json:"pct_wall"`
+}
+
+func writeReport(path, fig string, seed uint64, fast bool, total time.Duration, figTimes any, spans []obs.SpanStat) {
+	phases := make([]phaseEntry, 0, len(spans))
+	for _, st := range spans {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * st.Total / total.Seconds()
+		}
+		phases = append(phases, phaseEntry{
+			Span: st.Name, Count: st.Count, TotalS: st.Total,
+			MeanS: st.Mean(), MinS: st.Min, MaxS: st.Max, PctWall: pct,
+		})
+	}
+	report := map[string]any{
+		"command":       "pamo-bench",
+		"fig":           fig,
+		"seed":          seed,
+		"fast":          fast,
+		"total_seconds": total.Seconds(),
+		"figures":       figTimes,
+		"phases":        phases,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		os.Exit(1)
+	}
 }

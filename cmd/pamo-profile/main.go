@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/videosim"
 )
@@ -23,12 +24,28 @@ func main() {
 	noisy := flag.Bool("noisy", false, "emit noisy profiler measurements instead of ground truth")
 	samples := flag.Int("samples", 1, "measurements per configuration (with -noisy)")
 	link := flag.Float64("link", 100e6, "link bandwidth for the latency column (bits/s)")
+	events := flag.String("events", "", "write per-clip profiling telemetry as JSONL to this file")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec = obs.NewRecorder(f)
+		defer rec.Close()
+	}
+	measured := rec.Registry().Counter("profile_measurements_total")
 
 	w := os.Stdout
 	fmt.Fprintln(w, "clip,resolution,fps,map,latency_s,bandwidth_bps,compute_tflops,power_w")
 	prof := videosim.NewProfiler(0.02, stats.NewRNG(*seed+1))
 	for _, clip := range videosim.StandardClips(*clips, *seed) {
+		sp := rec.StartSpan("profile.clip", obs.F("noisy", b2f(*noisy)))
+		rows := 0
 		for _, r := range videosim.Resolutions {
 			for _, s := range videosim.FrameRates {
 				cfg := videosim.Config{Resolution: r, FPS: s}
@@ -38,13 +55,25 @@ func main() {
 						lat := m.ProcTime + m.Bits / *link
 						fmt.Fprintf(w, "%s,%g,%g,%.4f,%.5f,%.0f,%.3f,%.3f\n",
 							clip.Name, r, s, m.Acc, lat, m.Bandwidth, m.Compute, m.Power)
+						rows++
 					}
 				} else {
 					lat := clip.ProcTime(r) + clip.BitsPerFrame(r) / *link
 					fmt.Fprintf(w, "%s,%g,%g,%.4f,%.5f,%.0f,%.3f,%.3f\n",
 						clip.Name, r, s, clip.Accuracy(cfg), lat, clip.Bandwidth(cfg), clip.Compute(cfg), clip.Power(cfg))
+					rows++
 				}
 			}
 		}
+		measured.Add(uint64(rows))
+		sp.Field("rows", float64(rows))
+		sp.End()
 	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/eva"
 	"repro/internal/exp"
 	"repro/internal/objective"
+	"repro/internal/obs"
 	"repro/internal/pamo"
 	"repro/internal/pref"
 	"repro/internal/stats"
@@ -48,7 +49,33 @@ func main() {
 	method := flag.String("method", "pamo", "pamo | pamo+ | jcab | fact")
 	seed := flag.Uint64("seed", 1, "random seed")
 	weights := flag.String("weights", "1,1,1,1,1", "true preference weights: latency,accuracy,network,compute,energy")
+	events := flag.String("events", "", "stream telemetry of the pamo/pamo+ run as JSONL to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address while running")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *events != "" || *metricsAddr != "" {
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			rec = obs.NewRecorder(f)
+		} else {
+			rec = obs.NewRecorder(nil)
+		}
+		defer rec.Close()
+		if *metricsAddr != "" {
+			addr, err := rec.Registry().Serve(*metricsAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+		}
+	}
 
 	truth := objective.UniformPreference()
 	for i, part := range strings.Split(*weights, ",") {
@@ -72,13 +99,13 @@ func main() {
 	case "pamo":
 		dm := &pref.Oracle{Pref: truth, Rng: stats.NewRNG(*seed)}
 		var res *pamo.Result
-		res, err = pamo.New(sys, dm, pamo.Options{Seed: *seed, UseEUBO: true}).Run()
+		res, err = pamo.New(sys, dm, pamo.Options{Seed: *seed, UseEUBO: true, Obs: rec}).Run()
 		if err == nil {
 			dec = res.Best.Decision
 		}
 	case "pamo+":
 		var res *pamo.Result
-		res, err = pamo.New(sys, nil, pamo.Options{Seed: *seed, UseTruePref: true, TruePref: truth}).Run()
+		res, err = pamo.New(sys, nil, pamo.Options{Seed: *seed, UseTruePref: true, TruePref: truth, Obs: rec}).Run()
 		if err == nil {
 			dec = res.Best.Decision
 		}

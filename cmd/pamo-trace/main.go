@@ -3,6 +3,14 @@
 //	pamo-trace -record -videos 8 -servers 5 -per-cfg 3 -o trace.json
 //	pamo-trace -summary -i trace.json
 //	pamo-trace -run -i trace.json        # run PaMO off the recorded trace
+//	pamo-trace -run -i trace.json -events run.jsonl
+//	pamo-trace -events-summary -events run.jsonl
+//
+// With -events, the -run mode streams every telemetry span and event of
+// the PaMO run (phase timings, per-iteration acquisition scores, MVN
+// fallbacks) as JSON Lines; -events-summary aggregates such a file into a
+// per-phase latency table. -metrics-addr serves the live metric registry
+// in Prometheus text format while the run executes.
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"repro/internal/eva"
 	"repro/internal/exp"
 	"repro/internal/objective"
+	"repro/internal/obs"
 	"repro/internal/pamo"
 	"repro/internal/pref"
 	"repro/internal/stats"
@@ -24,12 +33,16 @@ func main() {
 	record := flag.Bool("record", false, "record a new trace")
 	summary := flag.Bool("summary", false, "print a trace summary")
 	runPamo := flag.Bool("run", false, "run PaMO with profiling replayed from the trace")
+	eventsSummary := flag.Bool("events-summary", false, "aggregate a JSONL event file (-events) into a per-span latency table")
 	videos := flag.Int("videos", 8, "videos to record")
 	servers := flag.Int("servers", 5, "servers to record")
 	perCfg := flag.Int("per-cfg", 3, "measurements per configuration")
 	seed := flag.Uint64("seed", 2024, "seed")
+	fast := flag.Bool("fast", false, "shrink PaMO budgets for a quick -run pass")
 	in := flag.String("i", "trace.json", "input trace path")
 	out := flag.String("o", "trace.json", "output trace path")
+	events := flag.String("events", "", "JSONL telemetry path: written by -run, read by -events-summary")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address during -run")
 	flag.Parse()
 
 	switch {
@@ -54,14 +67,39 @@ func main() {
 				c.Name, c.AccFactor, c.ComputeFac, c.BitFac, c.EnergyFac)
 		}
 
+	case *eventsSummary:
+		if *events == "" {
+			fatalIf(fmt.Errorf("-events-summary requires -events <file.jsonl>"))
+		}
+		f, err := os.Open(*events)
+		fatalIf(err)
+		defer f.Close()
+		evs, err := obs.ReadEvents(f)
+		fatalIf(err)
+		fmt.Printf("%d events in %s\n", len(evs), *events)
+		obs.WriteSpanTable(os.Stdout, obs.SummarizeSpans(evs))
+
 	case *runPamo:
 		tr := load(*in)
 		sys := tr.System()
+		rec, closeRec := newRecorder(*events, *metricsAddr)
+		defer closeRec()
 		truth := objective.UniformPreference()
 		dm := &pref.Oracle{Pref: truth, Rng: stats.NewRNG(*seed)}
-		res, err := pamo.New(sys, dm, pamo.Options{
-			Seed: *seed, UseEUBO: true, Measurer: trace.NewReplayer(tr),
-		}).Run()
+		opt := pamo.Options{
+			Seed: *seed, UseEUBO: true, Measurer: trace.NewReplayer(tr), Obs: rec,
+		}
+		if *fast {
+			opt.InitProfiles = 12
+			opt.InitObs = 3
+			opt.PrefPairs = 10
+			opt.PrefPool = 12
+			opt.Batch = 2
+			opt.MCSamples = 16
+			opt.CandPool = 10
+			opt.MaxIter = 5
+		}
+		res, err := pamo.New(sys, dm, opt).Run()
 		fatalIf(err)
 		outv := eva.Evaluate(sys, res.Best.Decision)
 		norm := objective.NewNormalizer(sys)
@@ -74,10 +112,47 @@ func main() {
 		for i, cfg := range res.Best.Decision.Configs {
 			fmt.Printf("  %-10s res=%4.0f fps=%2.0f\n", sys.Clips[i].Name, cfg.Resolution, cfg.FPS)
 		}
+		if rec != nil {
+			fmt.Println("\nphase breakdown:")
+			obs.WriteSpanTable(os.Stdout, rec.SpanSummary())
+		}
 
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// newRecorder builds the telemetry recorder shared by the run modes: a
+// JSONL sink when eventsPath is set, plus an optional live /metrics
+// endpoint. The returned closer flushes the sink; it is safe to call when
+// rec is nil.
+func newRecorder(eventsPath, metricsAddr string) (*obs.Recorder, func()) {
+	if eventsPath == "" && metricsAddr == "" {
+		return nil, func() {}
+	}
+	var f *os.File
+	if eventsPath != "" {
+		var err error
+		f, err = os.Create(eventsPath)
+		fatalIf(err)
+	}
+	var rec *obs.Recorder
+	if f != nil {
+		rec = obs.NewRecorder(f)
+	} else {
+		rec = obs.NewRecorder(nil)
+	}
+	if metricsAddr != "" {
+		addr, err := rec.Registry().Serve(metricsAddr)
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+	}
+	return rec, func() {
+		fatalIf(rec.Close())
+		if f != nil {
+			fatalIf(f.Close())
+		}
 	}
 }
 

@@ -89,3 +89,58 @@ func TestCmdPamoTraceRoundTrip(t *testing.T) {
 		t.Fatalf("summary: %s", sum)
 	}
 }
+
+func TestCmdPamoTraceEventsAndSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (fast) PaMO solve")
+	}
+	bin := buildCmd(t, "pamo-trace")
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	eventsPath := filepath.Join(dir, "run.jsonl")
+	run(t, bin, "-record", "-videos", "2", "-servers", "2", "-per-cfg", "1", "-o", tracePath)
+	out := run(t, bin, "-run", "-fast", "-i", tracePath, "-events", eventsPath)
+	if !strings.Contains(out, "benefit=") || !strings.Contains(out, "phase breakdown:") {
+		t.Fatalf("run output:\n%s", out)
+	}
+
+	// The event stream must be valid JSONL containing all four phase spans
+	// of Algorithm 2 plus per-iteration acquisition events.
+	raw, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]bool{}
+	var acqEvents int
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev struct {
+			Kind string  `json:"kind"`
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur_s"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.Kind == "span" {
+			spans[ev.Name] = true
+		}
+		if ev.Name == "acq" {
+			acqEvents++
+		}
+	}
+	for _, phase := range []string{"profiling", "outcome_model", "preference", "solution"} {
+		if !spans[phase] {
+			t.Fatalf("phase span %q missing; saw %v", phase, spans)
+		}
+	}
+	if acqEvents == 0 {
+		t.Fatal("no per-iteration acquisition events recorded")
+	}
+
+	sum := run(t, bin, "-events-summary", "-events", eventsPath)
+	for _, phase := range []string{"profiling", "outcome_model", "preference", "solution", "total_s"} {
+		if !strings.Contains(sum, phase) {
+			t.Fatalf("events-summary missing %q:\n%s", phase, sum)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package cluster
+
+import "repro/internal/obs"
+
+// SimulateServerRecorded is SimulateServer with telemetry: after the
+// simulation it emits one "cluster.server" event (server index,
+// utilization, max jitter, max wait, frame count) on rec and feeds the
+// cluster_server_utilization and cluster_server_jitter_seconds histograms
+// of rec's registry. A nil rec makes it exactly SimulateServer. Safe to
+// call from concurrent per-server goroutines.
+func SimulateServerRecorded(streams []StreamSpec, srv Server, horizon float64, rec *obs.Recorder, server int) Result {
+	res := SimulateServer(streams, srv, horizon)
+	if rec == nil {
+		return res
+	}
+	reg := rec.Registry()
+	reg.Histogram("cluster_server_utilization", obs.UnitBuckets).Observe(res.Utilization)
+	reg.Histogram("cluster_server_jitter_seconds", obs.DefBuckets).Observe(res.MaxJitter)
+	rec.Event("cluster.server",
+		obs.F("server", float64(server)),
+		obs.F("streams", float64(len(streams))),
+		obs.F("frames", float64(len(res.Frames))),
+		obs.F("utilization", res.Utilization),
+		obs.F("max_jitter", res.MaxJitter),
+		obs.F("max_wait", res.MaxWait))
+	return res
+}

@@ -29,7 +29,18 @@ type GP struct {
 	mean  float64    // constant mean subtracted before solving
 	chol  *mat.Cholesky
 	alpha mat.Vector // (K+σₙ²I)⁻¹ (y - mean)
+
+	// fallbacks, when set, additionally receives every SampleJoint MVN
+	// fallback of THIS model, so an owner (e.g. one pamo.Scheduler) can
+	// attribute degraded sampling to itself instead of reading the
+	// process-wide counter shared with every other concurrent run.
+	fallbacks *atomic.Uint64
 }
+
+// SetFallbackCounter injects a per-owner counter that is incremented (in
+// addition to the process-wide MVNFallbacks counter) whenever this model's
+// joint posterior sampling degrades to the deterministic mean.
+func (g *GP) SetFallbackCounter(c *atomic.Uint64) { g.fallbacks = c }
 
 // New returns an unfitted GP with the given kernel and noise variance.
 func New(k kernel.Kernel, noiseVar float64) *GP {
@@ -241,7 +252,7 @@ func (g *GP) PredictBatch(xs [][]float64) (mu mat.Vector, cov *mat.Matrix) {
 // xs. The result is nSamples×len(xs).
 func (g *GP) SampleJoint(xs [][]float64, nSamples int, rng *rand.Rand) [][]float64 {
 	mu, cov := g.PredictBatch(xs)
-	return SampleMVN(mu, cov, nSamples, rng)
+	return SampleMVNCounted(mu, cov, nSamples, rng, g.fallbacks)
 }
 
 // mvnFallbacks counts SampleMVN calls that degraded to the deterministic
@@ -262,11 +273,23 @@ func MVNFallbacks() uint64 { return mvnFallbacks.Load() }
 // jitter; if factorization still fails the deterministic mean is returned
 // for every sample and the MVNFallbacks counter is incremented.
 func SampleMVN(mu mat.Vector, cov *mat.Matrix, nSamples int, rng *rand.Rand) [][]float64 {
+	return SampleMVNCounted(mu, cov, nSamples, rng, nil)
+}
+
+// SampleMVNCounted is SampleMVN with an optional per-owner fallback
+// counter: when the covariance cannot be factorized, both the process-wide
+// counter and (if non-nil) counter are incremented, so a consumer that owns
+// several models can attribute degraded sampling to itself even while other
+// samplers run concurrently in the same process.
+func SampleMVNCounted(mu mat.Vector, cov *mat.Matrix, nSamples int, rng *rand.Rand, counter *atomic.Uint64) [][]float64 {
 	q := len(mu)
 	out := make([][]float64, nSamples)
 	c, err := mat.CholJitter(cov.Clone())
 	if err != nil {
 		mvnFallbacks.Add(1)
+		if counter != nil {
+			counter.Add(1)
+		}
 	}
 	for s := 0; s < nSamples; s++ {
 		row := make([]float64, q)

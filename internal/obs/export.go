@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// sanitizeMetricName maps an arbitrary metric name onto the Prometheus
+// charset [a-zA-Z0-9_:]; every other rune becomes '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+type namePair struct{ raw, san string }
+
+// sortedNames returns the map's keys with their sanitized forms, ordered
+// by the sanitized name the exposition actually prints.
+func sortedNames[V any](m map[string]V) []namePair {
+	out := make([]namePair, 0, len(m))
+	for k := range m {
+		out = append(out, namePair{raw: k, san: sanitizeMetricName(k)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].san < out[j].san })
+	return out
+}
+
+func formatLe(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", bound)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as <name> counter, gauges as gauge, and
+// histograms as cumulative _bucket/_sum/_count series. Names are sorted so
+// the output is deterministic. Safe on a nil receiver (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	for _, p := range sortedNames(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p.san, p.san, s.Counters[p.raw]); err != nil {
+			return err
+		}
+	}
+	for _, p := range sortedNames(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", p.san, p.san, s.Gauges[p.raw]); err != nil {
+			return err
+		}
+	}
+	for _, p := range sortedNames(s.Histograms) {
+		n := p.san
+		h := s.Histograms[p.raw]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, cnt := range h.Counts {
+			cum += cnt
+			bound := math.Inf(1)
+			if i < len(h.Bounds) {
+				bound = h.Bounds[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatLe(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Expvar returns the registry as an expvar.Var whose String() is the JSON
+// snapshot, suitable for expvar.Publish. Safe on a nil receiver (the
+// snapshot is empty).
+func (r *Registry) Expvar() expvar.Var {
+	return expvar.Func(func() any { return r.Snapshot() })
+}
+
+// Handler serves the registry at any path: Prometheus text by default,
+// the JSON snapshot with ?format=json. Safe on a nil receiver.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, r.Expvar().String())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Serve exposes the registry over HTTP at /metrics (and /) on addr,
+// starting the listener in a background goroutine. It returns the bound
+// address, so ":0" callers can discover the port. Serving errors after a
+// successful bind are dropped, matching the fire-and-forget role of a
+// metrics endpoint in a CLI run. Safe on a nil receiver.
+func (r *Registry) Serve(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/", r.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition of a small registry.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pamo_iterations_total").Add(3)
+	reg.Counter("pamo profiles").Add(7) // space must sanitize to '_'
+	reg.Gauge("pamo_best_benefit").Set(0.5)
+	h := reg.Histogram("span_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# TYPE pamo_iterations_total counter
+pamo_iterations_total 3
+# TYPE pamo_profiles counter
+pamo_profiles 7
+# TYPE pamo_best_benefit gauge
+pamo_best_benefit 0.5
+# TYPE span_seconds histogram
+span_seconds_bucket{le="0.1"} 2
+span_seconds_bucket{le="1"} 3
+span_seconds_bucket{le="+Inf"} 4
+span_seconds_sum 2.6
+span_seconds_count 4
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestExpvarSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(2)
+	reg.Gauge("g").Set(1.5)
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(reg.Expvar().String()), &snap); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if snap.Counters["c"] != 2 || snap.Gauges["g"] != 1.5 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+// TestServeScrape binds an ephemeral port and scrapes both formats.
+func TestServeScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scraped_total").Add(9)
+	addr, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if text := get("/metrics"); !strings.Contains(text, "scraped_total 9") {
+		t.Fatalf("text scrape:\n%s", text)
+	}
+	if js := get("/metrics?format=json"); !strings.Contains(js, `"scraped_total":9`) {
+		t.Fatalf("json scrape:\n%s", js)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounterGaugeHistogram hammers one counter, gauge, and
+// histogram from many goroutines; run under -race this is the registry's
+// safety check, and the totals verify no update is lost.
+func TestConcurrentCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("hits")
+			g := reg.Gauge("level")
+			h := reg.Histogram("lat", DefBuckets)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(0.5)
+				h.Observe(float64(i%100) / 1000) // 0..0.099
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("hits").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("level").Value(); math.Abs(got-workers*perWorker*0.5) > 1e-9 {
+		t.Fatalf("gauge = %v, want %v", got, workers*perWorker*0.5)
+	}
+	hs := reg.Histogram("lat", nil).Snapshot()
+	if hs.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, workers*perWorker)
+	}
+	var bucketSum uint64
+	for _, c := range hs.Counts {
+		bucketSum += c
+	}
+	if bucketSum != hs.Count {
+		t.Fatalf("bucket counts sum to %d, count %d", bucketSum, hs.Count)
+	}
+	// Every observation was < 0.1, so the cumulative count at the 0.1
+	// bound must already cover everything.
+	var cum uint64
+	for i, b := range hs.Bounds {
+		cum += hs.Counts[i]
+		if b >= 0.1 {
+			break
+		}
+	}
+	if cum != hs.Count {
+		t.Fatalf("cumulative count at 0.1 = %d, want %d", cum, hs.Count)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(0.5) // bucket 0 (≤1)
+	h.Observe(1)   // bucket 0 (≤1, upper edge inclusive)
+	h.Observe(1.5) // bucket 1 (≤2)
+	h.Observe(3)   // overflow bucket
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Sum != 6 || s.Count != 4 {
+		t.Fatalf("sum/count = %v/%d", s.Sum, s.Count)
+	}
+}
+
+// TestNilRegistrySafe checks the whole disabled chain: nil registry →
+// nil handles → no-op methods with zero values back.
+func TestNilRegistrySafe(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", DefBuckets)
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(1)
+	h.Observe(0.25)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil metric handles must read as zero")
+	}
+	s := reg.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if reg.Histogram("h", []float64{1}) != reg.Histogram("h", []float64{5, 9}) {
+		t.Fatal("same name must return the same histogram (bounds ignored after creation)")
+	}
+}

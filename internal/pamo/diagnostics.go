@@ -3,7 +3,6 @@ package pamo
 import (
 	"fmt"
 
-	"repro/internal/gp"
 	"repro/internal/stats"
 )
 
@@ -18,15 +17,17 @@ type MetricDiag struct {
 
 var metricNames = [numMetrics]string{"accuracy", "proc_time", "frame_bits", "compute", "power"}
 
-// SamplingFallbacks returns how many joint-posterior sampling calls since
-// this scheduler was constructed degraded to the deterministic mean because
-// the covariance could not be factorized (gp.SampleMVN's silent fallback).
-// A non-zero count means part of the acquisition search ran blind to model
-// uncertainty — worth surfacing in any trace/bench report. The underlying
-// counter is process-wide, so runs of concurrently active schedulers are
-// attributed to all of them.
+// SamplingFallbacks returns how many of THIS scheduler's joint-posterior
+// sampling calls degraded to the deterministic mean because the covariance
+// could not be factorized (gp.SampleMVN's silent fallback). A non-zero
+// count means part of the acquisition search ran blind to model
+// uncertainty — worth surfacing in any trace/bench report. The counter is
+// injected into every outcome GP and the preference model this scheduler
+// owns, so concurrently running schedulers no longer cross-attribute each
+// other's fallbacks (the old implementation diffed the process-wide
+// gp.MVNFallbacks counter and did).
 func (s *Scheduler) SamplingFallbacks() uint64 {
-	return gp.MVNFallbacks() - s.mvnBase
+	return s.mvn.Load()
 }
 
 // Diagnostics reports the leave-one-out fit quality of every clip-metric

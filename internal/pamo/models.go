@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/gp"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/videosim"
 )
 
@@ -55,14 +57,26 @@ type metricGP struct {
 	scale float64
 	xs    [][]float64
 	ys    []float64
+	// cholInc/cholFull count which refit path conditioned the GP:
+	// incremental Cholesky extensions vs full refactorizations. Nil (the
+	// untelemetered default) is a no-op.
+	cholInc  *obs.Counter
+	cholFull *obs.Counter
 }
 
-func newMetricGP() *metricGP {
+// newMetricGP builds one outcome GP. mvn, when non-nil, receives this
+// model's posterior-sampling fallbacks so the owning scheduler can
+// attribute them to itself (see gp.SetFallbackCounter).
+func newMetricGP(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter) *metricGP {
 	k := kernel.NewMatern52(3)
 	p := k.LogParams()
 	p[1], p[2], p[3] = math.Log(0.4), math.Log(0.4), math.Log(0.5)
 	k.SetLogParams(p)
-	return &metricGP{g: gp.New(k, 1e-3), scale: 1}
+	g := gp.New(k, 1e-3)
+	if mvn != nil {
+		g.SetFallbackCounter(mvn)
+	}
+	return &metricGP{g: g, scale: 1, cholInc: cholInc, cholFull: cholFull}
 }
 
 // add appends one observation.
@@ -97,11 +111,14 @@ func (m *metricGP) refit() error {
 	if n := m.g.N(); n > 0 && n <= len(m.xs) {
 		for i := n; i < len(m.xs); i++ {
 			if err := m.g.AddObservation(m.xs[i], scaled[i]); err != nil {
+				m.cholFull.Inc()
 				return m.g.Fit(m.xs, scaled)
 			}
+			m.cholInc.Inc()
 		}
 		return m.g.SetTargets(scaled)
 	}
+	m.cholFull.Inc()
 	return m.g.Fit(m.xs, scaled)
 }
 
@@ -157,10 +174,10 @@ type clipModels struct {
 	m [numMetrics]*metricGP
 }
 
-func newClipModels() *clipModels {
+func newClipModels(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter) *clipModels {
 	var c clipModels
 	for i := range c.m {
-		c.m[i] = newMetricGP()
+		c.m[i] = newMetricGP(mvn, cholInc, cholFull)
 	}
 	return &c
 }

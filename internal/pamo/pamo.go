@@ -5,10 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/eva"
-	"repro/internal/gp"
 	"repro/internal/objective"
+	"repro/internal/obs"
 	"repro/internal/pref"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -81,7 +82,13 @@ type Options struct {
 	// OnIteration, when non-nil, is called after every BO iteration with
 	// the iteration number (1-based) and the best believed benefit so far.
 	OnIteration func(iter int, bestBenefit float64)
-	Seed        uint64
+	// Obs, when non-nil, receives phase spans ("profiling",
+	// "outcome_model", "preference", "solution", plus one "iteration" span
+	// per BO round), per-iteration acquisition events, and the pamo_*
+	// metrics of the recorder's registry. Nil disables telemetry at
+	// zero cost.
+	Obs  *obs.Recorder
+	Seed uint64
 }
 
 // Validate rejects option values the scheduler cannot run with.
@@ -180,7 +187,14 @@ type Scheduler struct {
 	obs            []Observation
 	profiles       int
 	tournamentAsks int
-	mvnBase        uint64 // gp.MVNFallbacks() snapshot at construction
+
+	rec *obs.Recorder
+	met schedMetrics
+	// mvn counts THIS scheduler's posterior-sampling fallbacks: it is
+	// injected into every outcome GP and the preference model, so
+	// concurrently running schedulers no longer cross-attribute each
+	// other's degraded sampling (the old process-wide counter did).
+	mvn atomic.Uint64
 }
 
 // New builds a PaMO scheduler for the system. dm answers pairwise
@@ -193,25 +207,30 @@ func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
 		prof = videosim.NewProfiler(opt.ProfilerNoise, stats.NewRNG(opt.Seed+0x70F1))
 	}
 	s := &Scheduler{
-		sys:     sys,
-		dm:      dm,
-		opt:     opt,
-		rng:     rng,
-		prof:    prof,
-		norm:    objective.NewNormalizer(sys),
-		mvnBase: gp.MVNFallbacks(),
+		sys:  sys,
+		dm:   dm,
+		opt:  opt,
+		rng:  rng,
+		prof: prof,
+		norm: objective.NewNormalizer(sys),
+		rec:  opt.Obs,
 	}
+	s.met = newSchedMetrics(opt.Obs.Registry())
 	s.clips = make([]*clipModels, sys.M())
 	for i := range s.clips {
-		s.clips[i] = newClipModels()
+		s.clips[i] = newClipModels(&s.mvn, s.met.cholInc, s.met.cholFull)
 	}
 	if !opt.UseTruePref {
 		s.learner = pref.NewLearner(dm, opt.UseEUBO, stats.NewRNG(opt.Seed+0xE0B0))
+		s.learner.Model.SetFallbackCounter(&s.mvn)
 	}
 	return s
 }
 
 // Run executes Algorithm 2 end to end and returns the best decision found.
+// With Options.Obs set, the four phases emit spans ("profiling",
+// "outcome_model", "preference", "solution") and every BO round emits an
+// "iteration" span plus an "acq" event carrying the greedy slot scores.
 func (s *Scheduler) Run() (*Result, error) {
 	if err := s.opt.Validate(); err != nil {
 		return nil, err
@@ -219,9 +238,34 @@ func (s *Scheduler) Run() (*Result, error) {
 	if err := s.profileInit(); err != nil {
 		return nil, fmt.Errorf("pamo: outcome-model phase: %w", err)
 	}
-	if err := s.learnPreference(); err != nil {
+	if err := s.preferencePhase(); err != nil {
 		return nil, fmt.Errorf("pamo: preference phase: %w", err)
 	}
+	return s.solutionPhase()
+}
+
+// preferencePhase wraps the preference-modeling phase in its span and
+// reports the comparison/EUBO budget actually spent.
+func (s *Scheduler) preferencePhase() error {
+	sp := s.rec.StartSpan("preference")
+	defer sp.End()
+	if err := s.learnPreference(); err != nil {
+		return err
+	}
+	if s.learner != nil {
+		sp.Field("comparisons", float64(s.learner.Model.NumComparisons()))
+		sp.Field("eubo_queries", float64(s.learner.EUBOQueries))
+		s.met.euboQueries.Add(uint64(s.learner.EUBOQueries))
+		s.met.prefComps.Add(uint64(s.learner.Model.NumComparisons()))
+	}
+	return nil
+}
+
+// solutionPhase runs the BO loop (lines 12–21 of Algorithm 2) and the
+// final tournament, assembling the Result.
+func (s *Scheduler) solutionPhase() (*Result, error) {
+	sp := s.rec.StartSpan("solution")
+	defer sp.End()
 	if err := s.initialObservations(); err != nil {
 		return nil, fmt.Errorf("pamo: initial observations: %w", err)
 	}
@@ -230,19 +274,28 @@ func (s *Scheduler) Run() (*Result, error) {
 	zPrev := math.Inf(-1)
 	for iter := 0; iter < s.opt.MaxIter; iter++ {
 		res.Iters = iter + 1
+		s.met.iterations.Inc()
+		iterSp := s.rec.StartSpan("iteration", obs.F("iter", float64(iter+1)))
 		cands := s.generateCandidates()
 		if len(cands) == 0 {
+			iterSp.End()
 			break
 		}
 		batch := s.selectBatch(cands)
 		for _, c := range batch {
 			if _, err := s.observe(c); err != nil {
+				iterSp.End()
 				return nil, err
 			}
 		}
 		s.refreshBenefits()
 		z := s.bestObservation().Benefit
 		res.History = append(res.History, z)
+		s.met.bestBenefit.Set(z)
+		iterSp.Field("candidates", float64(len(cands)))
+		iterSp.Field("batch", float64(len(batch)))
+		iterSp.Field("best_benefit", z)
+		s.met.iterSeconds.Observe(iterSp.End())
 		if s.opt.OnIteration != nil {
 			s.opt.OnIteration(iter+1, z)
 		}
@@ -264,9 +317,12 @@ func (s *Scheduler) Run() (*Result, error) {
 	}
 	res.Profiles = s.profiles
 	res.MVNFallbacks = s.SamplingFallbacks()
+	s.met.mvnFallbacks.Set(float64(res.MVNFallbacks))
 	if s.learner != nil {
 		res.PrefPairs = s.learner.Model.NumComparisons() + s.tournamentAsks
 	}
+	sp.Field("iters", float64(res.Iters))
+	sp.Field("observations", float64(len(s.obs)))
 	return res, nil
 }
 
@@ -305,6 +361,11 @@ func (s *Scheduler) finalTournament(k int) Observation {
 func (s *Scheduler) profileInit() error {
 	grid := eva.ConfigGrid()
 	rois := s.roiGrid()
+	// Phase 1a: take every initial profiling measurement. (Measurement and
+	// fitting used to interleave per clip; they are split so each phase
+	// gets its own span. With OptimizeHyper off — the default — the RNG
+	// call sequence is unchanged.)
+	sp := s.rec.StartSpan("profiling", obs.F("clips", float64(s.sys.M())))
 	for ci, clip := range s.sys.Clips {
 		// Latin-hypercube over the knob grid, snapped to grid points.
 		pts := stats.LatinHypercube(s.opt.InitProfiles, 3, s.rng)
@@ -315,13 +376,21 @@ func (s *Scheduler) profileInit() error {
 				ROI:        snap(rois, p[2]),
 			}
 			s.clips[ci].addMeasurement(cfg, s.prof.Measure(clip, cfg))
-			s.profiles++
+			s.countProfile()
 		}
 		// Always include the grid corners so bounds are anchored.
 		for _, cfg := range []videosim.Config{grid[0], grid[len(grid)-1]} {
 			s.clips[ci].addMeasurement(cfg, s.prof.Measure(clip, cfg))
-			s.profiles++
+			s.countProfile()
 		}
+	}
+	sp.Field("profiles", float64(s.profiles))
+	sp.End()
+
+	// Phase 1b: condition the outcome GPs on the profiling data.
+	fit := s.rec.StartSpan("outcome_model")
+	defer fit.End()
+	for ci := range s.clips {
 		if err := s.clips[ci].refit(); err != nil {
 			return err
 		}
@@ -334,6 +403,13 @@ func (s *Scheduler) profileInit() error {
 		}
 	}
 	return nil
+}
+
+// countProfile tracks one profiling measurement in both the Result
+// accounting and the metric registry.
+func (s *Scheduler) countProfile() {
+	s.profiles++
+	s.met.profiles.Inc()
 }
 
 func snap(grid []float64, u float64) float64 {

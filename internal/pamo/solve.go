@@ -199,6 +199,7 @@ func (s *Scheduler) selectBatch(cands []candidate) []candidate {
 	}
 
 	chosen := make([]int, 0, b)
+	chosenScores := make([]float64, 0, b)
 	inBatch := make([]bool, len(cands))
 	scores := make([]float64, len(cands))
 	for len(chosen) < b {
@@ -212,7 +213,9 @@ func (s *Scheduler) selectBatch(cands []candidate) []candidate {
 		scorer.Add(bestIdx)
 		inBatch[bestIdx] = true
 		chosen = append(chosen, bestIdx)
+		chosenScores = append(chosenScores, scores[bestIdx])
 	}
+	s.recordAcq(len(universe), chosenScores)
 	out := make([]candidate, len(chosen))
 	for i, ci := range chosen {
 		out[i] = cands[ci]
@@ -250,6 +253,7 @@ func (s *Scheduler) selectBatchPerTrial(cands []candidate) []candidate {
 	}
 
 	chosen := make([]int, 0, b)
+	chosenScores := make([]float64, 0, b)
 	inBatch := make([]bool, len(cands))
 	scores := make([]float64, len(cands))
 	for len(chosen) < b {
@@ -285,7 +289,9 @@ func (s *Scheduler) selectBatchPerTrial(cands []candidate) []candidate {
 		}
 		inBatch[bestIdx] = true
 		chosen = append(chosen, bestIdx)
+		chosenScores = append(chosenScores, scores[bestIdx])
 	}
+	s.recordAcq(len(universe), chosenScores)
 	out := make([]candidate, len(chosen))
 	for i, ci := range chosen {
 		out[i] = cands[ci]
@@ -381,7 +387,7 @@ func (s *Scheduler) observe(c candidate) (Observation, error) {
 	// Update outcome models with fresh profiling at the deployed configs.
 	for i, clip := range s.sys.Clips {
 		s.clips[i].addMeasurement(c.cfgs[i], s.prof.Measure(clip, c.cfgs[i]))
-		s.profiles++
+		s.countProfile()
 		if err := s.clips[i].refit(); err != nil {
 			return ob, err
 		}
@@ -400,6 +406,7 @@ func (s *Scheduler) observe(c candidate) (Observation, error) {
 				err = s.learner.Model.AddComparison(j, i)
 			}
 			if err == nil {
+				s.met.prefComps.Inc()
 				if err := s.learner.Model.Fit(); err != nil {
 					return ob, err
 				}
@@ -409,6 +416,7 @@ func (s *Scheduler) observe(c candidate) (Observation, error) {
 
 	ob.Benefit = s.believedBenefit(norm)
 	s.obs = append(s.obs, ob)
+	s.met.observations.Inc()
 	return ob, nil
 }
 

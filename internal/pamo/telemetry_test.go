@@ -1,0 +1,96 @@
+package pamo
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/objective"
+	"repro/internal/obs"
+	"repro/internal/pref"
+)
+
+func TestRunEmitsPhaseSpansAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	sys := testSys(3, 3, 31)
+	opt := smallOpts(13)
+	opt.Obs = rec
+	res, err := New(sys, &pref.Oracle{Pref: objective.UniformPreference()}, opt).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]int{}
+	acq := 0
+	for _, ev := range evs {
+		if ev.Kind == "span" {
+			spans[ev.Name]++
+		}
+		if ev.Name == "acq" {
+			acq++
+		}
+	}
+	for _, phase := range []string{"profiling", "outcome_model", "preference", "solution"} {
+		if spans[phase] != 1 {
+			t.Fatalf("span %q count %d, want 1 (spans %v)", phase, spans[phase], spans)
+		}
+	}
+	if spans["iteration"] != res.Iters {
+		t.Fatalf("iteration spans %d vs result iters %d", spans["iteration"], res.Iters)
+	}
+	if acq == 0 {
+		t.Fatal("no acquisition events")
+	}
+
+	snap := rec.Registry().Snapshot()
+	if got := snap.Counters["pamo_iterations_total"]; got != uint64(res.Iters) {
+		t.Fatalf("pamo_iterations_total %d vs iters %d", got, res.Iters)
+	}
+	if snap.Counters["pamo_profiles_total"] == 0 {
+		t.Fatal("pamo_profiles_total is zero after a run")
+	}
+	if snap.Counters["pamo_observations_total"] == 0 {
+		t.Fatal("pamo_observations_total is zero after a run")
+	}
+	h, ok := snap.Histograms["pamo_iteration_seconds"]
+	if !ok || h.Count != uint64(res.Iters) {
+		t.Fatalf("pamo_iteration_seconds count %v (ok=%v), want %d", h.Count, ok, res.Iters)
+	}
+	if snap.Gauges["pamo_mvn_fallbacks"] != float64(res.MVNFallbacks) {
+		t.Fatalf("pamo_mvn_fallbacks gauge %v vs result %d",
+			snap.Gauges["pamo_mvn_fallbacks"], res.MVNFallbacks)
+	}
+}
+
+func TestRunWithNilRecorderMatchesRecorded(t *testing.T) {
+	// Telemetry must be strictly observational: the same seed must yield an
+	// identical decision with and without a recorder attached.
+	runOnce := func(rec *obs.Recorder) *Result {
+		sys := testSys(3, 3, 47)
+		opt := smallOpts(17)
+		opt.Obs = rec
+		res, err := New(sys, &pref.Oracle{Pref: objective.UniformPreference()}, opt).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := runOnce(nil)
+	recorded := runOnce(obs.NewRecorder(nil))
+	if plain.Best.Benefit != recorded.Best.Benefit || plain.Iters != recorded.Iters {
+		t.Fatalf("telemetry changed the run: benefit %v vs %v, iters %d vs %d",
+			plain.Best.Benefit, recorded.Best.Benefit, plain.Iters, recorded.Iters)
+	}
+	for i := range plain.Best.Decision.Configs {
+		if plain.Best.Decision.Configs[i] != recorded.Best.Decision.Configs[i] {
+			t.Fatalf("decision diverged at clip %d", i)
+		}
+	}
+}

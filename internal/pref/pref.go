@@ -50,6 +50,10 @@ type Learner struct {
 	// otherwise pairs are drawn uniformly from the pool.
 	UseEUBO bool
 	Rng     *rand.Rand
+	// EUBOQueries counts the decision-maker queries whose pair was chosen
+	// by the EUBO search (as opposed to random pairing); telemetry reads
+	// it after Learn.
+	EUBOQueries int
 }
 
 // NewLearner builds a learner over the K-dimensional normalized outcome
@@ -99,6 +103,9 @@ func (l *Learner) Learn(pool []objective.Vector, nPairs int) error {
 				return err
 			}
 			i, j = l.selectEUBO(pts, asked)
+			if i >= 0 {
+				l.EUBOQueries++
+			}
 		} else {
 			i, j = l.randomPair(len(pool), asked)
 		}

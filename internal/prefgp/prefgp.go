@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/gp"
 	"repro/internal/kernel"
@@ -40,7 +41,16 @@ type Model struct {
 	kinv     *mat.Matrix // K⁻¹ over points
 	ainv     *mat.Matrix // (K⁻¹+W)⁻¹ — posterior covariance of g at points
 	evidence float64     // Laplace log marginal likelihood of the comparisons
+
+	// fallbacks, when set, receives every Sample MVN fallback of this
+	// model so an owner can attribute degraded sampling to itself (see
+	// gp.SampleMVNCounted).
+	fallbacks *atomic.Uint64
 }
+
+// SetFallbackCounter injects a per-owner counter incremented whenever
+// Sample degrades to the deterministic posterior mean.
+func (m *Model) SetFallbackCounter(c *atomic.Uint64) { m.fallbacks = c }
 
 // NewModel returns an empty preference model. lambda defaults to 0.1 when
 // non-positive; outcome vectors are expected to be normalized to [0,1]^k so
@@ -284,7 +294,7 @@ func (m *Model) PredictOne(y []float64) (mu, variance float64) {
 // Sample draws nSamples joint samples of the latent utility at ys.
 func (m *Model) Sample(ys [][]float64, nSamples int, rng *rand.Rand) [][]float64 {
 	mu, cov := m.Predict(ys)
-	return gp.SampleMVN(mu, cov, nSamples, rng)
+	return gp.SampleMVNCounted(mu, cov, nSamples, rng, m.fallbacks)
 }
 
 // ProbPrefer returns the posterior predictive probability that y1 ≻ y2,

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/eva"
 	"repro/internal/objective"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/videosim"
 )
@@ -81,6 +82,12 @@ type Controller struct {
 	Truth objective.Preference // scoring preference for the trace
 	Norm  objective.Normalizer
 	Opt   Options
+	// Obs, when non-nil, receives one "epoch" event per epoch (benefit,
+	// jitter, drift magnitude, replan cause), a "replan" span around every
+	// scheduler invocation, per-server DES utilization/jitter events, and
+	// the runtime_* metrics of the recorder's registry. Nil disables
+	// telemetry at zero cost.
+	Obs *obs.Recorder
 }
 
 // ErrNoDecision is returned when the first scheduling attempt fails — the
@@ -101,6 +108,15 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		opt.Workers = c.Sys.N()
 	}
 
+	reg := c.Obs.Registry()
+	epochsTotal := reg.Counter("runtime_epochs_total")
+	replansTotal := reg.Counter("runtime_replans_total")
+	replansDrop := reg.Counter("runtime_replans_drop_total")
+	replansFailed := reg.Counter("runtime_replans_failed_total")
+	benefitGauge := reg.Gauge("runtime_benefit")
+	driftGauge := reg.Gauge("runtime_drift")
+	jitterHist := reg.Histogram("runtime_epoch_jitter_seconds", obs.DefBuckets)
+
 	trace := &Trace{}
 	var current eva.Decision
 	haveDecision := false
@@ -113,19 +129,33 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		default:
 		}
 		drifted := c.driftedSystem(epoch)
+		drift := c.driftMagnitude(epoch)
 		replanned := false
+		dropTriggered := dropPending
 		if !haveDecision || epoch%opt.ReplanEvery == 0 || dropPending {
+			sp := c.Obs.StartSpan("replan",
+				obs.F("epoch", float64(epoch)),
+				obs.F("drop_triggered", boolField(dropTriggered)),
+				obs.F("drift", drift))
 			d, err := c.Sched.Decide(drifted, epoch)
+			sp.Field("failed", boolField(err != nil))
+			sp.End()
 			if err == nil {
 				current = d
 				haveDecision = true
 				replanned = true
 				dropPending = false
 				bestSinceReplan = math.Inf(-1)
+				replansTotal.Inc()
+				if dropTriggered {
+					replansDrop.Inc()
+				}
 			} else if !haveDecision {
 				return trace, fmt.Errorf("%w: %v", ErrNoDecision, err)
+			} else {
+				// A failed replan keeps the previous decision running.
+				replansFailed.Inc()
 			}
-			// A failed replan keeps the previous decision running.
 		}
 		out, jitter := c.evaluateParallel(drifted, current, opt.Workers)
 		benefit := c.Truth.Benefit(c.Norm.Normalize(out))
@@ -142,8 +172,43 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			MaxJitter: jitter,
 			Replanned: replanned,
 		})
+		epochsTotal.Inc()
+		benefitGauge.Set(benefit)
+		driftGauge.Set(drift)
+		jitterHist.Observe(jitter)
+		c.Obs.Event("epoch",
+			obs.F("epoch", float64(epoch)),
+			obs.F("benefit", benefit),
+			obs.F("max_jitter", jitter),
+			obs.F("drift", drift),
+			obs.F("replanned", boolField(replanned)),
+			obs.F("drop_pending", boolField(dropPending)))
 	}
 	return trace, nil
+}
+
+func boolField(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// driftMagnitude quantifies how far the clips' content difficulty has
+// moved from baseline at the epoch's virtual time: the mean of
+// |ContentDifficulty(t) − 1| across clips. It is what the epoch events and
+// the runtime_drift gauge report, so a replan can be correlated with the
+// content move that caused it.
+func (c *Controller) driftMagnitude(epoch int) float64 {
+	if len(c.Sys.Clips) == 0 {
+		return 0
+	}
+	t := float64(epoch) * EpochSeconds
+	var sum float64
+	for _, clip := range c.Sys.Clips {
+		sum += math.Abs(clip.ContentDifficulty(t) - 1)
+	}
+	return sum / float64(len(c.Sys.Clips))
 }
 
 // driftedSystem returns a copy of the system whose clips reflect the
@@ -212,7 +277,7 @@ func (c *Controller) evaluateParallel(sys *objective.System, d eva.Decision, wor
 					Bits:   streams[i].Bits,
 				})
 			}
-			res := cluster.SimulateServer(specs, sys.Servers[j], eva.EvalHorizon)
+			res := cluster.SimulateServerRecorded(specs, sys.Servers[j], eva.EvalHorizon, c.Obs, j)
 			for _, f := range res.Frames {
 				results[j].latSum += f.Latency()
 				results[j].frames++

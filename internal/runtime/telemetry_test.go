@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRunEmitsEpochEventsAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	sys := testSys(4, 2)
+	c := controller(sys, zeroJitterScheduler(), 3)
+	c.Obs = rec
+
+	const epochs = 7
+	tr, err := c.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochEvents, replanSpans, serverEvents int
+	for _, ev := range evs {
+		switch ev.Name {
+		case "epoch":
+			epochEvents++
+			if ev.Fields["epoch"] != float64(epochEvents-1) {
+				t.Fatalf("epoch event %d has epoch field %v", epochEvents-1, ev.Fields["epoch"])
+			}
+			if _, ok := ev.Fields["drift"]; !ok {
+				t.Fatalf("epoch event missing drift field: %v", ev.Fields)
+			}
+		case "replan":
+			replanSpans++
+		case "cluster.server":
+			serverEvents++
+		}
+	}
+	if epochEvents != epochs {
+		t.Fatalf("epoch events %d, want %d", epochEvents, epochs)
+	}
+	// Replans at epochs 0, 3, 6 with ReplanEvery=3.
+	if replanSpans != 3 {
+		t.Fatalf("replan spans %d, want 3", replanSpans)
+	}
+	// One DES simulation per server per epoch.
+	if serverEvents != epochs*sys.N() {
+		t.Fatalf("cluster.server events %d, want %d", serverEvents, epochs*sys.N())
+	}
+
+	snap := rec.Registry().Snapshot()
+	if got := snap.Counters["runtime_epochs_total"]; got != epochs {
+		t.Fatalf("runtime_epochs_total %d, want %d", got, epochs)
+	}
+	if got := snap.Counters["runtime_replans_total"]; got != 3 {
+		t.Fatalf("runtime_replans_total %d, want 3", got)
+	}
+	if got := snap.Gauges["runtime_benefit"]; got != tr.Reports[epochs-1].Benefit {
+		t.Fatalf("runtime_benefit gauge %v vs last report %v", got, tr.Reports[epochs-1].Benefit)
+	}
+	h, ok := snap.Histograms["cluster_server_utilization"]
+	if !ok || h.Count != uint64(epochs*sys.N()) {
+		t.Fatalf("cluster_server_utilization count %v (ok=%v), want %d", h.Count, ok, epochs*sys.N())
+	}
+}
+
+func TestRunNilRecorderUnchanged(t *testing.T) {
+	// The telemetry hooks must not perturb the control loop: a run with a
+	// nil recorder and a run with an aggregate-only recorder agree epoch by
+	// epoch.
+	runOnce := func(rec *obs.Recorder) *Trace {
+		sys := testSys(4, 2)
+		c := controller(sys, zeroJitterScheduler(), 3)
+		c.Obs = rec
+		tr, err := c.Run(context.Background(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	plain := runOnce(nil)
+	recorded := runOnce(obs.NewRecorder(nil))
+	for i := range plain.Reports {
+		if plain.Reports[i].Benefit != recorded.Reports[i].Benefit ||
+			plain.Reports[i].Replanned != recorded.Reports[i].Replanned {
+			t.Fatalf("epoch %d diverged: %+v vs %+v", i, plain.Reports[i], recorded.Reports[i])
+		}
+	}
+}
