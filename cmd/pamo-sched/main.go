@@ -1,29 +1,40 @@
 // Command pamo-sched runs one scheduling decision end to end: it builds a
 // simulated EVA system, runs the selected scheduler (pamo, pamo+, jcab,
-// fact), and prints the decision and its measured outcomes as JSON.
+// fact, fixed), and prints the decision and its measured outcomes as JSON.
+//
+// With -faults it instead drives the online controller for -epochs epochs
+// under the scripted fault scenario (server crashes, camera stalls, link
+// degradation), printing a run summary that records replans, degraded
+// epochs, and shed streams.
 //
 // Usage:
 //
 //	pamo-sched -videos 8 -servers 5 -method pamo -seed 7
 //	pamo-sched -method jcab -weights 1,2,1,1,0.5
+//	pamo-sched -method fixed -videos 6 -servers 2 -faults scenario.json -epochs 8
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/eva"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/objective"
 	"repro/internal/obs"
 	"repro/internal/pamo"
 	"repro/internal/pref"
+	"repro/internal/runtime"
 	"repro/internal/stats"
+	"repro/internal/videosim"
 )
 
 type output struct {
@@ -43,14 +54,34 @@ type configJSON struct {
 	FPS        float64 `json:"fps"`
 }
 
+// faultRunOutput summarizes a controller run under fault injection.
+type faultRunOutput struct {
+	Method             string  `json:"method"`
+	Videos             int     `json:"videos"`
+	Servers            int     `json:"servers"`
+	Epochs             int     `json:"epochs"`
+	Scenario           string  `json:"scenario"`
+	MeanBenefit        float64 `json:"mean_benefit"`
+	Replans            int     `json:"replans"`
+	ReplanFailures     int     `json:"replan_failures"`
+	DegradedEpochs     int     `json:"degraded_epochs"`
+	MaxDegradedStreams int     `json:"max_degraded_streams"`
+	FaultEvents        int     `json:"fault_events"`
+	FinalShed          []int   `json:"final_shed"`
+}
+
 func main() {
 	videos := flag.Int("videos", 8, "number of video sources")
 	servers := flag.Int("servers", 5, "number of edge servers")
-	method := flag.String("method", "pamo", "pamo | pamo+ | jcab | fact")
+	method := flag.String("method", "pamo", "pamo | pamo+ | jcab | fact | fixed")
 	seed := flag.Uint64("seed", 1, "random seed")
 	weights := flag.String("weights", "1,1,1,1,1", "true preference weights: latency,accuracy,network,compute,energy")
-	events := flag.String("events", "", "stream telemetry of the pamo/pamo+ run as JSONL to this file")
+	events := flag.String("events", "", "stream telemetry of the run as JSONL to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address while running")
+	faults := flag.String("faults", "", "fault scenario JSON: drive the online controller under injected failures")
+	epochs := flag.Int("epochs", 12, "epochs to run with -faults")
+	replanEvery := flag.Int("replan-every", 5, "replan period in epochs with -faults")
+	decideTimeout := flag.Duration("decide-timeout", 0, "per-attempt scheduler deadline with -faults (0 = unbounded)")
 	flag.Parse()
 
 	var rec *obs.Recorder
@@ -93,6 +124,11 @@ func main() {
 	sys := exp.NewSystem(*videos, *servers, *seed)
 	norm := objective.NewNormalizer(sys)
 
+	if *faults != "" {
+		runFaulted(sys, truth, rec, *method, *faults, *epochs, *replanEvery, *decideTimeout, *seed, *videos, *servers)
+		return
+	}
+
 	var dec eva.Decision
 	var err error
 	switch *method {
@@ -110,11 +146,13 @@ func main() {
 			dec = res.Best.Decision
 		}
 	case "jcab":
-		dec, err = baselines.JCAB(sys, baselines.JCABOptions{
+		dec, err = baselines.JCAB(context.Background(), sys, baselines.JCABOptions{
 			WAcc: truth.W[objective.Accuracy], WEng: truth.W[objective.Energy], Seed: *seed})
 	case "fact":
-		dec, err = baselines.FACT(sys, baselines.FACTOptions{
+		dec, err = baselines.FACT(context.Background(), sys, baselines.FACTOptions{
 			WLat: truth.W[objective.Latency], WAcc: truth.W[objective.Accuracy], Seed: *seed})
+	case "fixed":
+		dec, err = fixedScheduler().Decide(context.Background(), sys, 0)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
 		os.Exit(1)
@@ -142,9 +180,109 @@ func main() {
 	for k := 0; k < objective.K; k++ {
 		o.Outcomes[objective.Names[k]] = out[k]
 	}
+	emit(o)
+}
+
+func fixedScheduler() *runtime.FixedScheduler {
+	return &runtime.FixedScheduler{Cfg: videosim.Config{Resolution: 1000, FPS: 10}}
+}
+
+// schedulerFor builds the controller scheduler for -faults mode.
+func schedulerFor(method string, truth objective.Preference, rec *obs.Recorder, seed uint64) (runtime.Scheduler, error) {
+	switch method {
+	case "pamo":
+		return &runtime.PaMOScheduler{
+			DM:  &pref.Oracle{Pref: truth, Rng: stats.NewRNG(seed)},
+			Opt: pamo.Options{Seed: seed, Obs: rec},
+		}, nil
+	case "pamo+":
+		return &runtime.PaMOScheduler{
+			Opt: pamo.Options{Seed: seed, UseTruePref: true, TruePref: truth, Obs: rec},
+		}, nil
+	case "jcab":
+		return runtime.SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
+			return baselines.JCAB(ctx, s, baselines.JCABOptions{
+				WAcc: truth.W[objective.Accuracy], WEng: truth.W[objective.Energy], Seed: seed + uint64(epoch)})
+		}), nil
+	case "fact":
+		return runtime.SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
+			return baselines.FACT(ctx, s, baselines.FACTOptions{
+				WLat: truth.W[objective.Latency], WAcc: truth.W[objective.Accuracy], Seed: seed + uint64(epoch)})
+		}), nil
+	case "fixed":
+		return fixedScheduler(), nil
+	}
+	return nil, fmt.Errorf("unknown method %q", method)
+}
+
+func runFaulted(sys *objective.System, truth objective.Preference, rec *obs.Recorder,
+	method, scenarioPath string, epochs, replanEvery int, decideTimeout time.Duration,
+	seed uint64, videos, servers int) {
+	sc, err := fault.LoadFile(scenarioPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+		os.Exit(1)
+	}
+	inj, err := fault.NewInjector(sc, sys.N(), sys.M())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+		os.Exit(1)
+	}
+	sched, err := schedulerFor(method, truth, rec, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c := &runtime.Controller{
+		Sys:    sys,
+		Sched:  sched,
+		Truth:  truth,
+		Norm:   objective.NewNormalizer(sys),
+		Opt:    runtime.Options{ReplanEvery: replanEvery, DecideTimeout: decideTimeout},
+		Faults: inj,
+		Obs:    rec,
+	}
+	trace, err := c.Run(context.Background(), epochs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+	o := faultRunOutput{
+		Method:      method,
+		Videos:      videos,
+		Servers:     servers,
+		Epochs:      len(trace.Reports),
+		Scenario:    sc.Name,
+		MeanBenefit: trace.MeanBenefit(),
+		FinalShed:   []int{},
+	}
+	for _, r := range trace.Reports {
+		if r.Replanned {
+			o.Replans++
+		}
+		if r.ReplanFailed {
+			o.ReplanFailures++
+		}
+		if r.Degraded {
+			o.DegradedEpochs++
+		}
+		if d := len(r.Shed) + len(r.Downgraded); d > o.MaxDegradedStreams {
+			o.MaxDegradedStreams = d
+		}
+		o.FaultEvents += r.FaultEvents
+	}
+	if len(trace.Reports) > 0 {
+		if last := trace.Reports[len(trace.Reports)-1]; last.Shed != nil {
+			o.FinalShed = last.Shed
+		}
+	}
+	emit(o)
+}
+
+func emit(v any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(o); err != nil {
+	if err := enc.Encode(v); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

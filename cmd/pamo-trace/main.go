@@ -4,6 +4,7 @@
 //	pamo-trace -summary -i trace.json
 //	pamo-trace -run -i trace.json        # run PaMO off the recorded trace
 //	pamo-trace -run -i trace.json -events run.jsonl
+//	pamo-trace -run -i trace.json -faults scenario.json -epochs 10 -fast
 //	pamo-trace -events-summary -events run.jsonl
 //
 // With -events, the -run mode streams every telemetry span and event of
@@ -11,12 +12,20 @@
 // fallbacks) as JSON Lines; -events-summary aggregates such a file into a
 // per-phase latency table. -metrics-addr serves the live metric registry
 // in Prometheus text format while the run executes.
+//
+// With -faults, -run drives the online controller for -epochs epochs under
+// the scripted fault scenario instead of a single offline optimization,
+// still profiling from the recorded trace.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/fault"
+	"repro/internal/runtime"
 
 	"repro/internal/eva"
 	"repro/internal/exp"
@@ -39,6 +48,8 @@ func main() {
 	perCfg := flag.Int("per-cfg", 3, "measurements per configuration")
 	seed := flag.Uint64("seed", 2024, "seed")
 	fast := flag.Bool("fast", false, "shrink PaMO budgets for a quick -run pass")
+	faults := flag.String("faults", "", "fault scenario JSON: -run drives the online controller under injected failures")
+	epochs := flag.Int("epochs", 10, "epochs to run with -faults")
 	in := flag.String("i", "trace.json", "input trace path")
 	out := flag.String("o", "trace.json", "output trace path")
 	events := flag.String("events", "", "JSONL telemetry path: written by -run, read by -events-summary")
@@ -99,6 +110,14 @@ func main() {
 			opt.CandPool = 10
 			opt.MaxIter = 5
 		}
+		if *faults != "" {
+			runFaulted(sys, truth, dm, opt, *faults, *epochs, rec)
+			if rec != nil {
+				fmt.Println("\nphase breakdown:")
+				obs.WriteSpanTable(os.Stdout, rec.SpanSummary())
+			}
+			return
+		}
 		res, err := pamo.New(sys, dm, opt).Run()
 		fatalIf(err)
 		outv := eva.Evaluate(sys, res.Best.Decision)
@@ -120,6 +139,47 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runFaulted drives the online controller with the PaMO scheduler under a
+// scripted fault scenario, profiling from the recorded trace.
+func runFaulted(sys *objective.System, truth objective.Preference, dm pref.DecisionMaker,
+	opt pamo.Options, scenarioPath string, epochs int, rec *obs.Recorder) {
+	sc, err := fault.LoadFile(scenarioPath)
+	fatalIf(err)
+	inj, err := fault.NewInjector(sc, sys.N(), sys.M())
+	fatalIf(err)
+	c := &runtime.Controller{
+		Sys:    sys,
+		Sched:  &runtime.PaMOScheduler{DM: dm, Opt: opt},
+		Truth:  truth,
+		Norm:   objective.NewNormalizer(sys),
+		Opt:    runtime.Options{ReplanEvery: 5},
+		Faults: inj,
+		Obs:    rec,
+	}
+	tr, err := c.Run(context.Background(), epochs)
+	fatalIf(err)
+	replans, failures, degraded := 0, 0, 0
+	for _, r := range tr.Reports {
+		if r.Replanned {
+			replans++
+		}
+		if r.ReplanFailed {
+			failures++
+		}
+		if r.Degraded {
+			degraded++
+		}
+	}
+	fmt.Printf("PaMO under faults (%s): %d epochs, mean benefit=%.4f, replans=%d, failed=%d, degraded=%d\n",
+		sc.Name, len(tr.Reports), tr.MeanBenefit(), replans, failures, degraded)
+	for _, r := range tr.Reports {
+		if r.FaultEvents > 0 || r.Degraded {
+			fmt.Printf("  epoch %2d: healthy=%d faults=%d shed=%v downgraded=%v\n",
+				r.Epoch, r.HealthyServers, r.FaultEvents, r.Shed, r.Downgraded)
+		}
 	}
 }
 

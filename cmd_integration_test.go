@@ -66,6 +66,68 @@ func TestCmdPamoSchedJSON(t *testing.T) {
 	}
 }
 
+func TestCmdPamoSchedFaults(t *testing.T) {
+	bin := buildCmd(t, "pamo-sched")
+	dir := t.TempDir()
+	scPath := filepath.Join(dir, "scenario.json")
+	evPath := filepath.Join(dir, "run.jsonl")
+	scenario := `{"name":"kill-one","events":[
+		{"epoch":2,"action":"server_down","target":1},
+		{"epoch":5,"action":"server_up","target":1}]}`
+	if err := os.WriteFile(scPath, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-method", "fixed", "-videos", "6", "-servers", "2", "-seed", "7",
+		"-faults", scPath, "-epochs", "8", "-replan-every", "3", "-events", evPath}
+	out := run(t, bin, args...)
+	var payload struct {
+		Method             string  `json:"method"`
+		Epochs             int     `json:"epochs"`
+		Scenario           string  `json:"scenario"`
+		MeanBenefit        float64 `json:"mean_benefit"`
+		Replans            int     `json:"replans"`
+		DegradedEpochs     int     `json:"degraded_epochs"`
+		MaxDegradedStreams int     `json:"max_degraded_streams"`
+		FaultEvents        int     `json:"fault_events"`
+		FinalShed          []int   `json:"final_shed"`
+	}
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if payload.Method != "fixed" || payload.Epochs != 8 || payload.Scenario != "kill-one" {
+		t.Fatalf("payload: %+v", payload)
+	}
+	if payload.FaultEvents != 2 {
+		t.Fatalf("fault events = %d, want 2", payload.FaultEvents)
+	}
+	// Six videos do not fit one server at the fixed config: the outage
+	// epochs (2..4) must run degraded, and recovery must restore everything.
+	if payload.DegradedEpochs < 1 || payload.MaxDegradedStreams < 1 {
+		t.Fatalf("no degradation recorded: %+v", payload)
+	}
+	if len(payload.FinalShed) != 0 {
+		t.Fatalf("final shed = %v after recovery", payload.FinalShed)
+	}
+	if payload.Replans < 2 {
+		t.Fatalf("replans = %d", payload.Replans)
+	}
+
+	raw, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fault_server_down", "fault_server_up", "degraded"} {
+		if !strings.Contains(string(raw), `"name":"`+name+`"`) {
+			t.Fatalf("event stream missing %q", name)
+		}
+	}
+
+	// Fault runs are deterministic: same scenario, same seed, same output.
+	if out2 := run(t, bin, args[:len(args)-2]...); out2 != out {
+		t.Fatalf("faulted run not deterministic:\n%s\n%s", out, out2)
+	}
+}
+
 func TestCmdPamoBenchSingleFigure(t *testing.T) {
 	bin := buildCmd(t, "pamo-bench")
 	out := run(t, bin, "-fig", "4")

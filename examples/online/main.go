@@ -24,7 +24,7 @@ func main() {
 
 	// A cheap reactive scheduler: pick per-clip configurations by a greedy
 	// score on the *drifted* clip curves, then Algorithm 1.
-	reactive := runtime.SchedulerFunc(func(s *objective.System, epoch int) (eva.Decision, error) {
+	reactive := runtime.SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
 		cfgs := make([]videosim.Config, s.M())
 		for i, clip := range s.Clips {
 			best, bestV := videosim.Config{Resolution: 500, FPS: 5}, -1e18

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cluster"
@@ -46,7 +47,7 @@ func checkDecision(t *testing.T, sys *objective.System, d eva.Decision) {
 
 func TestJCABProducesValidDecision(t *testing.T) {
 	sys := testSys(8, 5, 99)
-	d, err := JCAB(sys, JCABOptions{Seed: 1})
+	d, err := JCAB(context.Background(), sys, JCABOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestJCABProducesValidDecision(t *testing.T) {
 func TestJCABHandlesHeavyLoad(t *testing.T) {
 	// 12 videos on 3 servers: placement requires aggressive downgrading.
 	sys := testSys(12, 3, 7)
-	d, err := JCAB(sys, JCABOptions{Seed: 2})
+	d, err := JCAB(context.Background(), sys, JCABOptions{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func TestJCABHandlesHeavyLoad(t *testing.T) {
 
 func TestJCABEnergyWeightLowersPower(t *testing.T) {
 	sys := testSys(6, 4, 11)
-	light, err := JCAB(sys, JCABOptions{WEng: 0.05, Seed: 3})
+	light, err := JCAB(context.Background(), sys, JCABOptions{WEng: 0.05, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy, err := JCAB(sys, JCABOptions{WEng: 5, Seed: 3})
+	heavy, err := JCAB(context.Background(), sys, JCABOptions{WEng: 5, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestJCABEnergyWeightLowersPower(t *testing.T) {
 
 func TestJCABDeterministicForSeed(t *testing.T) {
 	sys := testSys(5, 3, 13)
-	a, err := JCAB(sys, JCABOptions{Seed: 4})
+	a, err := JCAB(context.Background(), sys, JCABOptions{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := JCAB(sys, JCABOptions{Seed: 4})
+	b, err := JCAB(context.Background(), sys, JCABOptions{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestJCABDeterministicForSeed(t *testing.T) {
 
 func TestFACTProducesValidDecision(t *testing.T) {
 	sys := testSys(8, 5, 99)
-	d, err := FACT(sys, FACTOptions{Seed: 1})
+	d, err := FACT(context.Background(), sys, FACTOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFACTPrefersFastUplinkForHeavyStreams(t *testing.T) {
 	// Server 1 has triple the uplink of server 0.
 	sys.Servers[0].Uplink = 5e6
 	sys.Servers[1].Uplink = 1.5e7
-	d, err := FACT(sys, FACTOptions{WLat: 5, Seed: 5})
+	d, err := FACT(context.Background(), sys, FACTOptions{WLat: 5, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +131,11 @@ func TestFACTPrefersFastUplinkForHeavyStreams(t *testing.T) {
 
 func TestFACTLatencyWeightTradesAccuracy(t *testing.T) {
 	sys := testSys(6, 3, 31)
-	latHeavy, err := FACT(sys, FACTOptions{WLat: 10, WAcc: 0.1, Seed: 6})
+	latHeavy, err := FACT(context.Background(), sys, FACTOptions{WLat: 10, WAcc: 0.1, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	accHeavy, err := FACT(sys, FACTOptions{WLat: 0.1, WAcc: 10, Seed: 6})
+	accHeavy, err := FACT(context.Background(), sys, FACTOptions{WLat: 0.1, WAcc: 10, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFACTLatencyWeightTradesAccuracy(t *testing.T) {
 
 func TestFACTAvoidsOverload(t *testing.T) {
 	sys := testSys(10, 4, 41)
-	d, err := FACT(sys, FACTOptions{Seed: 7})
+	d, err := FACT(context.Background(), sys, FACTOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/eva"
@@ -41,8 +42,9 @@ func (o FACTOptions) withDefaults() FACTOptions {
 // with a queueing-aware latency estimate, and (b) greedy re-assignment of
 // each stream to the server minimizing its estimated latency, until a sweep
 // changes nothing. Frame rate stays fixed (FACT ignores bandwidth and
-// energy), and offsets are uncoordinated.
-func FACT(sys *objective.System, opt FACTOptions) (eva.Decision, error) {
+// energy), and offsets are uncoordinated. ctx is checked between BCD
+// sweeps.
+func FACT(ctx context.Context, sys *objective.System, opt FACTOptions) (eva.Decision, error) {
 	opt = opt.withDefaults()
 	rng := stats.NewRNG(opt.Seed + 0xFAC7)
 	m := sys.M()
@@ -91,6 +93,9 @@ func FACT(sys *objective.System, opt FACTOptions) (eva.Decision, error) {
 	}
 
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return eva.Decision{}, err
+		}
 		changed := false
 		// Block 1: resolutions.
 		for i := 0; i < m; i++ {

@@ -8,6 +8,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -64,8 +65,9 @@ var ErrNoPlacement = errors.New("baselines: first-fit placement failed at minimu
 // energy queue Q accumulates budget overruns. Placement is First-Fit under
 // the utilization constraint only (Const1), with per-stream config
 // downgrade on placement failure. Camera offsets are uncoordinated
-// (random), so delay jitter is whatever it happens to be.
-func JCAB(sys *objective.System, opt JCABOptions) (eva.Decision, error) {
+// (random), so delay jitter is whatever it happens to be. ctx is checked
+// between rounds and placement attempts.
+func JCAB(ctx context.Context, sys *objective.System, opt JCABOptions) (eva.Decision, error) {
 	opt = opt.withDefaults(sys)
 	rng := stats.NewRNG(opt.Seed + 0x1CAB)
 	grid := eva.ConfigGrid()
@@ -80,6 +82,9 @@ func JCAB(sys *objective.System, opt JCABOptions) (eva.Decision, error) {
 		counts[i] = map[videosim.Config]int{}
 	}
 	for r := 0; r < opt.Rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return eva.Decision{}, err
+		}
 		var totalPower float64
 		for i, clip := range sys.Clips {
 			best, bestV := grid[0], math.Inf(-1)
@@ -108,6 +113,9 @@ func JCAB(sys *objective.System, opt JCABOptions) (eva.Decision, error) {
 	// covers walking every video from the max to the min configuration.
 	maxAttempts := 1 + sys.M()*(len(videosim.Resolutions)+len(videosim.FrameRates))
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return eva.Decision{}, err
+		}
 		streams := eva.BuildStreams(sys, cfgs)
 		assign, failed := firstFit(streams, sys.N())
 		if failed < 0 {

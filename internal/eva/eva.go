@@ -27,6 +27,33 @@ type Decision struct {
 	Assign  []int             // per stream: server index
 	Offsets []float64         // per stream: capture offset (nil = all zero)
 	ZeroJit bool              // true when offsets follow Theorem 1
+
+	// Shed lists video indices dropped by the degradation policy: they
+	// have no entries in Streams and contribute nothing to any outcome.
+	// Downgraded lists videos running below the configuration the planner
+	// originally wanted (Configs holds the configuration actually running).
+	// Both are sorted and nil for ordinary full-capacity decisions.
+	Shed       []int
+	Downgraded []int
+}
+
+// IsDegraded reports whether the decision came out of the degradation
+// policy (any stream shed or downgraded).
+func (d Decision) IsDegraded() bool { return len(d.Shed) > 0 || len(d.Downgraded) > 0 }
+
+// ShedSet returns Shed as a membership mask over m videos (nil when
+// nothing was shed).
+func (d Decision) ShedSet(m int) []bool {
+	if len(d.Shed) == 0 {
+		return nil
+	}
+	set := make([]bool, m)
+	for _, i := range d.Shed {
+		if i >= 0 && i < m {
+			set[i] = true
+		}
+	}
+	return set
 }
 
 // BuildStreams converts per-video configurations into post-split periodic

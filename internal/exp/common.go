@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"repro/internal/baselines"
 	"repro/internal/cluster"
 	"repro/internal/eva"
@@ -78,7 +79,7 @@ func RunMethods(sys *objective.System, cfg MethodsConfig) []MethodResult {
 
 	var results []MethodResult
 
-	jd, jerr := baselines.JCAB(sys, baselines.JCABOptions{
+	jd, jerr := baselines.JCAB(context.Background(), sys, baselines.JCABOptions{
 		WAcc: cfg.Truth.W[objective.Accuracy],
 		WEng: cfg.Truth.W[objective.Energy],
 		Seed: cfg.Seed,
@@ -89,7 +90,7 @@ func RunMethods(sys *objective.System, cfg MethodsConfig) []MethodResult {
 	}
 	results = append(results, score("JCAB", jout, jerr))
 
-	fd, ferr := baselines.FACT(sys, baselines.FACTOptions{
+	fd, ferr := baselines.FACT(context.Background(), sys, baselines.FACTOptions{
 		WLat: cfg.Truth.W[objective.Latency],
 		WAcc: cfg.Truth.W[objective.Accuracy],
 		Seed: cfg.Seed,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -83,11 +84,11 @@ func Fig10a(w io.Writer, cfg Fig10aConfig) []Fig10aRow {
 
 		for _, wt := range cfg.Weights {
 			jNorm, fNorm := 0.0, 0.0
-			if d, err := baselines.JCAB(sys, baselines.JCABOptions{WEng: wt, Seed: cfg.Seed}); err == nil {
+			if d, err := baselines.JCAB(context.Background(), sys, baselines.JCABOptions{WEng: wt, Seed: cfg.Seed}); err == nil {
 				u := truth.Benefit(norm.Normalize(eva.Evaluate(sys, d)))
 				jNorm = objective.NormalizeBenefit(u, maxU, truth)
 			}
-			if d, err := baselines.FACT(sys, baselines.FACTOptions{WLat: wt, Seed: cfg.Seed}); err == nil {
+			if d, err := baselines.FACT(context.Background(), sys, baselines.FACTOptions{WLat: wt, Seed: cfg.Seed}); err == nil {
 				u := truth.Benefit(norm.Normalize(eva.Evaluate(sys, d)))
 				fNorm = objective.NormalizeBenefit(u, maxU, truth)
 			}
@@ -171,11 +172,11 @@ func Fig10b(w io.Writer, cfg Fig10bConfig) []Fig10bRow {
 			pamoNorm := objective.NormalizeBenefit(truth.Benefit(norm.Normalize(resP.Best.Raw)), maxU, truth)
 
 			jNorm, fNorm := 0.0, 0.0
-			if d, err := baselines.JCAB(sys, baselines.JCABOptions{Rounds: iters, Seed: cfg.Seed}); err == nil {
+			if d, err := baselines.JCAB(context.Background(), sys, baselines.JCABOptions{Rounds: iters, Seed: cfg.Seed}); err == nil {
 				u := truth.Benefit(norm.Normalize(eva.Evaluate(sys, d)))
 				jNorm = objective.NormalizeBenefit(u, maxU, truth)
 			}
-			if d, err := baselines.FACT(sys, baselines.FACTOptions{MaxIter: iters, Seed: cfg.Seed}); err == nil {
+			if d, err := baselines.FACT(context.Background(), sys, baselines.FACTOptions{MaxIter: iters, Seed: cfg.Seed}); err == nil {
 				u := truth.Benefit(norm.Normalize(eva.Evaluate(sys, d)))
 				fNorm = objective.NormalizeBenefit(u, maxU, truth)
 			}

@@ -1,7 +1,7 @@
 package pamo
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -89,6 +89,11 @@ type Options struct {
 	// zero cost.
 	Obs  *obs.Recorder
 	Seed uint64
+	// ServerMask restricts planning to the servers marked true (nil = all):
+	// the fault-tolerant runtime sets it so replans after a crash land only
+	// on survivors. Returned assignments still use the full physical server
+	// index space.
+	ServerMask []bool
 }
 
 // Validate rejects option values the scheduler cannot run with.
@@ -182,6 +187,8 @@ type Scheduler struct {
 	prof videosim.Measurer
 	norm objective.Normalizer
 
+	ctx context.Context // RunContext's cancellation, nil for plain Run
+
 	clips          []*clipModels
 	learner        *pref.Learner
 	obs            []Observation
@@ -232,14 +239,46 @@ func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
 // "outcome_model", "preference", "solution") and every BO round emits an
 // "iteration" span plus an "acq" event carrying the greedy slot scores.
 func (s *Scheduler) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked between
+// phases and before every BO iteration, so the fault-tolerant runtime's
+// decide deadline aborts a replan at the next boundary instead of waiting
+// out the whole loop.
+func (s *Scheduler) RunContext(ctx context.Context) (*Result, error) {
 	if err := s.opt.Validate(); err != nil {
+		return nil, err
+	}
+	if s.opt.ServerMask != nil {
+		if len(s.opt.ServerMask) != s.sys.N() {
+			return nil, fmt.Errorf("pamo: server mask length %d for %d servers", len(s.opt.ServerMask), s.sys.N())
+		}
+		alive := 0
+		for _, ok := range s.opt.ServerMask {
+			if ok {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return nil, fmt.Errorf("%w: no healthy servers in mask", sched.ErrInfeasible)
+		}
+	}
+	s.ctx = ctx
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := s.profileInit(); err != nil {
 		return nil, fmt.Errorf("pamo: outcome-model phase: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.preferencePhase(); err != nil {
 		return nil, fmt.Errorf("pamo: preference phase: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return s.solutionPhase()
 }
@@ -273,6 +312,9 @@ func (s *Scheduler) solutionPhase() (*Result, error) {
 	res := &Result{}
 	zPrev := math.Inf(-1)
 	for iter := 0; iter < s.opt.MaxIter; iter++ {
+		if s.ctx != nil && s.ctx.Err() != nil {
+			return nil, s.ctx.Err()
+		}
 		res.Iters = iter + 1
 		s.met.iterations.Inc()
 		iterSp := s.rec.StartSpan("iteration", obs.F("iter", float64(iter+1)))
@@ -446,7 +488,7 @@ func (s *Scheduler) learnPreference() error {
 		pool = append(pool, s.norm.Normalize(s.predictOutcomes(c)))
 	}
 	if len(pool) < 2 {
-		return errors.New("no feasible configurations for preference pool")
+		return fmt.Errorf("%w: no feasible configurations for preference pool", sched.ErrInfeasible)
 	}
 	if err := s.learner.Learn(pool, s.opt.PrefPairs); err != nil {
 		return err
@@ -519,7 +561,7 @@ func (s *Scheduler) plan(cfgs []videosim.Config) (candidate, bool) {
 		}
 	}
 	split := sched.SplitHighRate(streams)
-	plan, err := sched.Schedule(split, s.sys.Servers)
+	plan, err := sched.ScheduleMasked(split, s.sys.Servers, s.opt.ServerMask)
 	if err != nil {
 		return candidate{}, false
 	}

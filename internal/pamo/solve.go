@@ -504,3 +504,7 @@ type errNoFeasibleT struct{}
 func (errNoFeasibleT) Error() string {
 	return "pamo: no feasible zero-jitter configuration found for this system"
 }
+
+// Unwrap ties the failure to sched.ErrInfeasible so the fault-tolerant
+// runtime can recognize it and fall back to the degradation policy.
+func (errNoFeasibleT) Unwrap() error { return sched.ErrInfeasible }

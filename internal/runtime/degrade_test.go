@@ -1,0 +1,147 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/objective"
+	"repro/internal/videosim"
+)
+
+// gradedSys builds m uniform clips whose AccFactor rises with the index, so
+// the drop order (lowest truth-benefit first) is exactly the index order.
+func gradedSys(m, n int) *objective.System {
+	clips := make([]*videosim.Clip, m)
+	for i := range clips {
+		clips[i] = &videosim.Clip{
+			Name: fmt.Sprintf("cam%d", i), AccBase: 0.9,
+			AccFactor: 0.5 + 0.02*float64(i), ComputeFac: 1, BitFac: 1, EnergyFac: 1,
+		}
+	}
+	servers := make([]cluster.Server, n)
+	for j := range servers {
+		servers[j] = cluster.Server{Uplink: 20e6}
+	}
+	return &objective.System{Clips: clips, Servers: servers}
+}
+
+func minConfigs(m int) []videosim.Config {
+	cfgs := make([]videosim.Config, m)
+	for i := range cfgs {
+		cfgs[i] = videosim.Config{Resolution: videosim.Resolutions[0], FPS: videosim.FrameRates[0]}
+	}
+	return cfgs
+}
+
+// TestDegradeDropsLowestBenefitFirst: 20 videos at the minimum
+// configuration need 20·13.75ms = 275ms on one server, but the 5 fps
+// period allows only 200ms, so exactly six videos (14·13.75 = 192.5ms
+// fits, 15 does not) must be shed — and they must be the six with the
+// lowest accuracy contribution, i.e. the lowest indices here.
+func TestDegradeDropsLowestBenefitFirst(t *testing.T) {
+	sys := gradedSys(20, 1)
+	c := controller(sys, nil, 1)
+	d := c.degrade(sys, []bool{true}, minConfigs(20), nil, nil)
+	if len(d.Shed) != 6 {
+		t.Fatalf("shed %v, want exactly 6 videos", d.Shed)
+	}
+	for i, v := range d.Shed {
+		if v != i {
+			t.Fatalf("shed %v, want the lowest-benefit videos [0..5]", d.Shed)
+		}
+	}
+	if len(d.Downgraded) != 0 {
+		t.Fatalf("nothing was downgradable, yet downgraded = %v", d.Downgraded)
+	}
+	if len(d.Streams) != 14 {
+		t.Fatalf("planned %d streams, want 14 survivors", len(d.Streams))
+	}
+	if err := decisionValid(d, []bool{true}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsDegraded() {
+		t.Fatal("decision does not report degradation")
+	}
+}
+
+// TestDegradeLowersBeforeDropping: a workload that fits after frame-rate
+// reductions must not lose any video.
+func TestDegradeLowersBeforeDropping(t *testing.T) {
+	sys := uniformSys(6, 3)
+	c := controller(sys, nil, 1)
+	base := make([]videosim.Config, 6)
+	for i := range base {
+		base[i] = videosim.Config{Resolution: 1500, FPS: 10}
+	}
+	d := c.degrade(sys, []bool{true, true, false}, base, nil, nil)
+	if len(d.Shed) != 0 {
+		t.Fatalf("shed %v: downgrading suffices", d.Shed)
+	}
+	if len(d.Downgraded) != 6 {
+		t.Fatalf("downgraded %v, want all 6", d.Downgraded)
+	}
+	for i := range d.Configs {
+		// Frame rate drops before resolution.
+		if d.Configs[i].Resolution != 1500 || d.Configs[i].FPS != 6 {
+			t.Fatalf("video %d config %+v, want {1500 6}", i, d.Configs[i])
+		}
+	}
+	if err := decisionValid(d, []bool{true, true, false}, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradeZeroHealthyShedsAll: with no capacity at all, every video is
+// shed and the empty decision is still well-formed.
+func TestDegradeZeroHealthyShedsAll(t *testing.T) {
+	sys := uniformSys(4, 2)
+	c := controller(sys, nil, 1)
+	d := c.degrade(sys, []bool{false, false}, defaultConfigs(4), nil, nil)
+	if len(d.Shed) != 4 || len(d.Streams) != 0 || len(d.Assign) != 0 {
+		t.Fatalf("blackout decision: %+v", d)
+	}
+}
+
+// TestDegradeCarriesPriorVictimsForward: re-degrading an already-degraded
+// decision keeps the earlier victims in the record even when this call
+// needs no new ones.
+func TestDegradeCarriesPriorVictimsForward(t *testing.T) {
+	sys := uniformSys(4, 2)
+	c := controller(sys, nil, 1)
+	base := defaultConfigs(4)
+	base[2] = videosim.Config{Resolution: 1000, FPS: 6} // previously lowered
+	d := c.degrade(sys, []bool{true, true}, base, []int{1}, []int{2})
+	if len(d.Shed) != 1 || d.Shed[0] != 1 {
+		t.Fatalf("prior shed lost: %v", d.Shed)
+	}
+	if len(d.Downgraded) != 1 || d.Downgraded[0] != 2 {
+		t.Fatalf("prior downgrade lost: %v", d.Downgraded)
+	}
+	// Video 1 stays shed: three streams, not four.
+	if len(d.Streams) != 3 {
+		t.Fatalf("streams = %d, want 3 (video 1 stays shed)", len(d.Streams))
+	}
+}
+
+func TestLowerOneOrder(t *testing.T) {
+	c := videosim.Config{Resolution: 1000, FPS: 10}
+	if got := lowerOne(c); got.FPS != 6 || got.Resolution != 1000 {
+		t.Fatalf("lowerOne fps step: %+v", got)
+	}
+	c = videosim.Config{Resolution: 1000, FPS: videosim.FrameRates[0]}
+	if got := lowerOne(c); got.Resolution != 750 || got.FPS != videosim.FrameRates[0] {
+		t.Fatalf("lowerOne resolution step: %+v", got)
+	}
+	bottom := videosim.Config{Resolution: videosim.Resolutions[0], FPS: videosim.FrameRates[0]}
+	if lowerable(bottom) {
+		t.Fatal("grid minimum reported lowerable")
+	}
+	if got := lowerOne(bottom); got != bottom {
+		t.Fatalf("lowerOne changed the minimum: %+v", got)
+	}
+	// Off-grid values snap to the next grid point below.
+	if got := stepDown(videosim.FrameRates, 7); got != 6 {
+		t.Fatalf("stepDown(7) = %v", got)
+	}
+}

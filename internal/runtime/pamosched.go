@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+
 	"repro/internal/eva"
 	"repro/internal/objective"
 	"repro/internal/pamo"
@@ -10,18 +12,26 @@ import (
 // PaMOScheduler adapts the PaMO optimizer to the controller's Scheduler
 // interface: every replan runs a fresh Algorithm 2 loop against the
 // drifted system. Opt's Seed is advanced per epoch so repeated replans
-// explore differently while remaining reproducible.
+// explore differently while remaining reproducible. It is mask-aware:
+// after a server crash the optimizer plans directly onto the survivors
+// via pamo.Options.ServerMask.
 type PaMOScheduler struct {
 	DM  pref.DecisionMaker
 	Opt pamo.Options
 }
 
 // Decide implements Scheduler.
-func (p *PaMOScheduler) Decide(sys *objective.System, epoch int) (eva.Decision, error) {
+func (p *PaMOScheduler) Decide(ctx context.Context, sys *objective.System, epoch int) (eva.Decision, error) {
+	return p.DecideMasked(ctx, sys, nil, epoch)
+}
+
+// DecideMasked implements MaskAware.
+func (p *PaMOScheduler) DecideMasked(ctx context.Context, sys *objective.System, healthy []bool, epoch int) (eva.Decision, error) {
 	opt := p.Opt
 	opt.Seed += uint64(epoch) * 1009
 	opt.UseEUBO = true
-	res, err := pamo.New(sys, p.DM, opt).Run()
+	opt.ServerMask = healthy
+	res, err := pamo.New(sys, p.DM, opt).RunContext(ctx)
 	if err != nil {
 		return eva.Decision{}, err
 	}

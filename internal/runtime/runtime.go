@@ -4,6 +4,14 @@
 // pluggable scheduler when content drift degrades the running decision,
 // and dispatches new configurations. Epochs are virtual time; all
 // concurrency is real.
+//
+// The controller is fault-tolerant: an optional fault.Injector crashes
+// and recovers servers, stalls cameras, and degrades uplinks at epoch
+// granularity; topology changes force an immediate replan on the
+// survivors, every scheduler call runs under a context deadline with
+// bounded retry + exponential backoff, and when Algorithm 1 turns
+// infeasible on the shrunken cluster a degradation policy sheds or
+// downgrades streams until a feasible zero-jitter plan exists.
 package runtime
 
 import (
@@ -12,9 +20,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/eva"
+	"repro/internal/fault"
 	"repro/internal/objective"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -25,17 +35,29 @@ import (
 const EpochSeconds = 60.0
 
 // Scheduler produces a decision for the system as it looks at a given
-// epoch.
+// epoch. Implementations must honour ctx cancellation promptly; the
+// controller abandons calls that outlive their deadline.
 type Scheduler interface {
-	Decide(sys *objective.System, epoch int) (eva.Decision, error)
+	Decide(ctx context.Context, sys *objective.System, epoch int) (eva.Decision, error)
+}
+
+// MaskAware is an optional Scheduler extension for planners that can
+// natively plan onto a subset of the servers. healthy is a per-server
+// liveness mask over sys.Servers (nil = all up); the returned decision's
+// Assign must use the full physical index space and only healthy servers.
+// Schedulers without this extension are given a compacted view of the
+// cluster and their assignments are remapped by the controller.
+type MaskAware interface {
+	Scheduler
+	DecideMasked(ctx context.Context, sys *objective.System, healthy []bool, epoch int) (eva.Decision, error)
 }
 
 // SchedulerFunc adapts a function to the Scheduler interface.
-type SchedulerFunc func(sys *objective.System, epoch int) (eva.Decision, error)
+type SchedulerFunc func(ctx context.Context, sys *objective.System, epoch int) (eva.Decision, error)
 
 // Decide implements Scheduler.
-func (f SchedulerFunc) Decide(sys *objective.System, epoch int) (eva.Decision, error) {
-	return f(sys, epoch)
+func (f SchedulerFunc) Decide(ctx context.Context, sys *objective.System, epoch int) (eva.Decision, error) {
+	return f(ctx, sys, epoch)
 }
 
 // EpochReport is the controller's record of one epoch.
@@ -44,7 +66,30 @@ type EpochReport struct {
 	Outcome   objective.Vector // measured under the drifted content
 	Benefit   float64          // truth-scored benefit (for the trace owner)
 	MaxJitter float64
-	Replanned bool
+	Replanned bool // a new decision was installed this epoch
+
+	// ReplanFailed marks an epoch whose scheduler invocation errored (after
+	// retries) so the previous decision kept running; DropTriggered marks a
+	// replan caused by the benefit-drop trigger rather than the clock. They
+	// make traces self-contained — previously only metrics recorded these.
+	ReplanFailed  bool
+	DropTriggered bool
+
+	// Fault-tolerance record. Degraded means the installed decision came
+	// from the degradation policy; Shed/Downgraded are its victim videos.
+	// Stalled lists cameras producing no frames this epoch, HealthyServers
+	// counts servers up, FaultEvents counts injected events applied this
+	// epoch, DecideAttempts counts scheduler invocations (0 = no replan
+	// due), and ServerStreams is the number of live streams per physical
+	// server under the running decision.
+	Degraded       bool
+	Shed           []int
+	Downgraded     []int
+	Stalled        []int
+	HealthyServers int
+	FaultEvents    int
+	DecideAttempts int
+	ServerStreams  []int
 }
 
 // Trace is the full run history.
@@ -73,6 +118,19 @@ type Options struct {
 	// since the last replan (0 = disabled). This is event-driven
 	// adaptation: react to content drift instead of waiting for the clock.
 	ReplanOnDrop float64
+	// DecideTimeout bounds every individual scheduler invocation
+	// (0 = unbounded). When the deadline fires the attempt is abandoned —
+	// the call's goroutine is left to finish on its own and its result is
+	// discarded — and the retry/backoff path takes over, so a hung
+	// scheduler cannot stall the control loop.
+	DecideTimeout time.Duration
+	// DecideRetries is how many extra attempts a failed decide gets
+	// (default 1; negative disables retries). Infeasibility is not
+	// retried — it goes straight to the degradation policy.
+	DecideRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// subsequent retry (default 10ms).
+	RetryBackoff time.Duration
 }
 
 // Controller drives the online loop.
@@ -82,11 +140,15 @@ type Controller struct {
 	Truth objective.Preference // scoring preference for the trace
 	Norm  objective.Normalizer
 	Opt   Options
+	// Faults, when non-nil, injects the scripted failures into the loop:
+	// decisions are planned around down servers, stalled cameras produce
+	// no frames, and degraded links shrink the drifted system's uplinks.
+	Faults *fault.Injector
 	// Obs, when non-nil, receives one "epoch" event per epoch (benefit,
 	// jitter, drift magnitude, replan cause), a "replan" span around every
-	// scheduler invocation, per-server DES utilization/jitter events, and
-	// the runtime_* metrics of the recorder's registry. Nil disables
-	// telemetry at zero cost.
+	// scheduler invocation, "fault_*" and "degraded" events, per-server DES
+	// utilization/jitter events, and the runtime_*/fault_* metrics of the
+	// recorder's registry. Nil disables telemetry at zero cost.
 	Obs *obs.Recorder
 }
 
@@ -96,9 +158,9 @@ var ErrNoDecision = errors.New("runtime: scheduler produced no initial decision"
 
 // Run executes the control loop for the given number of epochs. Each epoch
 // the running decision is evaluated against content-drifted clips with one
-// goroutine per server (fan-out/fan-in); on replan epochs the scheduler
-// sees the drifted system. Cancelling ctx stops the loop early and returns
-// the partial trace.
+// goroutine per healthy server (fan-out/fan-in); on replan epochs the
+// scheduler sees the drifted, fault-masked system. Cancelling ctx stops
+// the loop early and returns the partial trace.
 func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 	opt := c.Opt
 	if opt.ReplanEvery <= 0 {
@@ -113,10 +175,18 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 	replansTotal := reg.Counter("runtime_replans_total")
 	replansDrop := reg.Counter("runtime_replans_drop_total")
 	replansFailed := reg.Counter("runtime_replans_failed_total")
+	replansForced := reg.Counter("runtime_replans_forced_total")
+	degradedEpochs := reg.Counter("runtime_degraded_epochs_total")
+	degradedStreams := reg.Gauge("runtime_degraded_streams")
 	benefitGauge := reg.Gauge("runtime_benefit")
 	driftGauge := reg.Gauge("runtime_drift")
 	jitterHist := reg.Histogram("runtime_epoch_jitter_seconds", obs.DefBuckets)
+	faultEventsTotal := reg.Counter("fault_events_total")
+	serversDownGauge := reg.Gauge("fault_servers_down")
+	camerasStalledGauge := reg.Gauge("fault_cameras_stalled")
+	linksDegradedGauge := reg.Gauge("fault_links_degraded")
 
+	n := c.Sys.N()
 	trace := &Trace{}
 	var current eva.Decision
 	haveDecision := false
@@ -128,19 +198,57 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			return trace, ctx.Err()
 		default:
 		}
+
+		// Apply this epoch's scripted faults and read the cluster state.
+		events := c.Faults.Advance(epoch)
+		st := c.Faults.State()
+		healthy := st.Healthy() // nil = no injector / all up
+		stalledCams := st.StalledCameras()
+		nHealthy := n
+		if healthy != nil {
+			nHealthy = st.NumHealthy()
+		}
+		for _, e := range events {
+			faultEventsTotal.Inc()
+			c.Obs.Event("fault_"+string(e.Action),
+				obs.F("epoch", float64(epoch)),
+				obs.F("action", fault.ActionCode(e.Action)),
+				obs.F("target", float64(e.Target)),
+				obs.F("factor", e.Factor))
+		}
+		if c.Faults != nil {
+			serversDownGauge.Set(float64(n - nHealthy))
+			camerasStalledGauge.Set(float64(len(stalledCams)))
+			linksDegradedGauge.Set(countDegradedLinks(st.LinkScale))
+		}
+		topologyChanged := len(events) > 0
+
 		drifted := c.driftedSystem(epoch)
+		applyLinkScales(drifted, st.LinkScale)
 		drift := c.driftMagnitude(epoch)
+
 		replanned := false
+		replanFailed := false
+		degraded := false
+		infeasible := false
+		attempts := 0
 		dropTriggered := dropPending
-		if !haveDecision || epoch%opt.ReplanEvery == 0 || dropPending {
+		if !haveDecision || epoch%opt.ReplanEvery == 0 || dropPending || topologyChanged {
+			if topologyChanged {
+				replansForced.Inc()
+			}
 			sp := c.Obs.StartSpan("replan",
 				obs.F("epoch", float64(epoch)),
 				obs.F("drop_triggered", boolField(dropTriggered)),
+				obs.F("healthy_servers", float64(nHealthy)),
 				obs.F("drift", drift))
-			d, err := c.Sched.Decide(drifted, epoch)
+			d, tries, err := c.decide(ctx, drifted, healthy, epoch, opt)
+			attempts = tries
 			sp.Field("failed", boolField(err != nil))
+			sp.Field("attempts", float64(tries))
 			sp.End()
-			if err == nil {
+			switch {
+			case err == nil:
 				current = d
 				haveDecision = true
 				replanned = true
@@ -150,14 +258,48 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 				if dropTriggered {
 					replansDrop.Inc()
 				}
-			} else if !haveDecision {
+			case ctx.Err() != nil:
+				return trace, ctx.Err()
+			case errors.Is(err, sched.ErrInfeasible):
+				// Capacity shrank below what the full workload needs:
+				// shed/downgrade below instead of keeping a stale plan.
+				infeasible = true
+			case !haveDecision:
 				return trace, fmt.Errorf("%w: %v", ErrNoDecision, err)
-			} else {
+			default:
 				// A failed replan keeps the previous decision running.
+				replanFailed = true
 				replansFailed.Inc()
 			}
 		}
-		out, jitter := c.evaluateParallel(drifted, current, opt.Workers)
+
+		// Graceful degradation: when the workload no longer fits the
+		// surviving servers, or the running decision references a dead
+		// server (e.g. the forced replan timed out), shed or downgrade
+		// streams until a feasible zero-jitter plan exists.
+		if infeasible || (haveDecision && decisionValid(current, healthy, n) != nil) {
+			base := defaultConfigs(c.Sys.M())
+			if haveDecision {
+				base = current.Configs
+			}
+			current = c.degrade(drifted, healthy, base, current.Shed, current.Downgraded)
+			haveDecision = true
+			replanned = true
+			degraded = true
+			dropPending = false
+			bestSinceReplan = math.Inf(-1)
+			degradedEpochs.Inc()
+			c.Obs.Event("degraded",
+				obs.F("epoch", float64(epoch)),
+				obs.F("shed", float64(len(current.Shed))),
+				obs.F("downgraded", float64(len(current.Downgraded))))
+		}
+		degradedStreams.Set(float64(len(current.Shed) + len(current.Downgraded)))
+
+		out, jitter := c.evaluateParallel(ctx, drifted, current, opt.Workers, healthy, st.Stalled)
+		if ctx.Err() != nil {
+			return trace, ctx.Err()
+		}
 		benefit := c.Truth.Benefit(c.Norm.Normalize(out))
 		if benefit > bestSinceReplan {
 			bestSinceReplan = benefit
@@ -166,11 +308,21 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			dropPending = true
 		}
 		trace.Reports = append(trace.Reports, EpochReport{
-			Epoch:     epoch,
-			Outcome:   out,
-			Benefit:   benefit,
-			MaxJitter: jitter,
-			Replanned: replanned,
+			Epoch:          epoch,
+			Outcome:        out,
+			Benefit:        benefit,
+			MaxJitter:      jitter,
+			Replanned:      replanned,
+			ReplanFailed:   replanFailed,
+			DropTriggered:  dropTriggered,
+			Degraded:       degraded || current.IsDegraded(),
+			Shed:           append([]int(nil), current.Shed...),
+			Downgraded:     append([]int(nil), current.Downgraded...),
+			Stalled:        stalledCams,
+			HealthyServers: nHealthy,
+			FaultEvents:    len(events),
+			DecideAttempts: attempts,
+			ServerStreams:  serverStreams(current, n, st.Stalled),
 		})
 		epochsTotal.Inc()
 		benefitGauge.Set(benefit)
@@ -182,9 +334,218 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			obs.F("max_jitter", jitter),
 			obs.F("drift", drift),
 			obs.F("replanned", boolField(replanned)),
+			obs.F("replan_failed", boolField(replanFailed)),
+			obs.F("degraded", boolField(degraded)),
+			obs.F("healthy_servers", float64(nHealthy)),
 			obs.F("drop_pending", boolField(dropPending)))
 	}
 	return trace, nil
+}
+
+// decide invokes the scheduler under the configured per-attempt deadline
+// with bounded retry + exponential backoff, planning around down servers.
+// The returned decision is validated and always uses the full physical
+// server index space. It returns the number of attempts made. Retrying
+// stops early on infeasibility (deterministic — the degradation policy is
+// the answer, not another attempt) and on parent-context cancellation.
+func (c *Controller) decide(ctx context.Context, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, int, error) {
+	retries := opt.DecideRetries
+	if retries == 0 {
+		retries = 1
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	retryCounter := c.Obs.Registry().Counter("runtime_decide_retries_total")
+
+	attempts := 0
+	var lastErr error
+	for try := 0; try <= retries; try++ {
+		if try > 0 {
+			retryCounter.Inc()
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return eva.Decision{}, attempts, ctx.Err()
+			}
+			backoff *= 2
+		}
+		attempts++
+		d, err := c.decideOnce(ctx, sys, healthy, epoch, opt)
+		if err == nil {
+			return d, attempts, nil
+		}
+		lastErr = err
+		if errors.Is(err, sched.ErrInfeasible) || ctx.Err() != nil {
+			break
+		}
+	}
+	return eva.Decision{}, attempts, lastErr
+}
+
+// decideOnce runs a single scheduler invocation under the decide deadline.
+// Mask-aware schedulers get the full system plus the liveness mask; others
+// get a compacted view of the healthy servers and their assignments are
+// remapped back to physical indices. The call runs in its own goroutine so
+// a scheduler that ignores cancellation is abandoned when the deadline
+// fires rather than blocking the loop.
+func (c *Controller) decideOnce(ctx context.Context, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, error) {
+	dctx := ctx
+	cancel := func() {}
+	if opt.DecideTimeout > 0 {
+		dctx, cancel = context.WithTimeout(ctx, opt.DecideTimeout)
+	}
+	defer cancel()
+
+	type result struct {
+		d   eva.Decision
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		var r result
+		switch {
+		case maskTrivial(healthy):
+			r.d, r.err = c.Sched.Decide(dctx, sys, epoch)
+		default:
+			if ma, ok := c.Sched.(MaskAware); ok {
+				r.d, r.err = ma.DecideMasked(dctx, sys, healthy, epoch)
+			} else {
+				view, phys := maskView(sys, healthy)
+				r.d, r.err = c.Sched.Decide(dctx, view, epoch)
+				if r.err == nil {
+					r.d, r.err = remapDecision(r.d, phys)
+				}
+			}
+		}
+		ch <- r
+	}()
+	select {
+	case r := <-ch:
+		if r.err == nil {
+			if err := decisionValid(r.d, healthy, sys.N()); err != nil {
+				return eva.Decision{}, err
+			}
+		}
+		return r.d, r.err
+	case <-dctx.Done():
+		if ctx.Err() == nil {
+			c.Obs.Registry().Counter("runtime_decide_timeouts_total").Inc()
+		}
+		return eva.Decision{}, dctx.Err()
+	}
+}
+
+// maskTrivial reports whether the liveness mask imposes no restriction.
+func maskTrivial(healthy []bool) bool {
+	for _, ok := range healthy {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// maskView builds a compacted system containing only the healthy servers,
+// plus the compact-to-physical index table.
+func maskView(sys *objective.System, healthy []bool) (*objective.System, []int) {
+	var phys []int
+	var servers []cluster.Server
+	for j, ok := range healthy {
+		if ok {
+			phys = append(phys, j)
+			servers = append(servers, sys.Servers[j])
+		}
+	}
+	return &objective.System{Clips: sys.Clips, Servers: servers}, phys
+}
+
+// remapDecision rewrites a decision planned against a compacted server
+// view back into the full physical index space.
+func remapDecision(d eva.Decision, phys []int) (eva.Decision, error) {
+	out := d
+	out.Assign = make([]int, len(d.Assign))
+	for i, a := range d.Assign {
+		if a < 0 || a >= len(phys) {
+			return eva.Decision{}, fmt.Errorf("runtime: scheduler assigned stream %d to compact server %d of %d", i, a, len(phys))
+		}
+		out.Assign[i] = phys[a]
+	}
+	return out, nil
+}
+
+// decisionValid checks a decision against the current topology: shapes
+// consistent, every assignment in range and on a healthy server.
+func decisionValid(d eva.Decision, healthy []bool, n int) error {
+	if len(d.Streams) != len(d.Assign) {
+		return fmt.Errorf("runtime: %d streams vs %d assignments", len(d.Streams), len(d.Assign))
+	}
+	for i, a := range d.Assign {
+		if a < 0 || a >= n {
+			return fmt.Errorf("runtime: stream %d assigned to out-of-range server %d", i, a)
+		}
+		if healthy != nil && !healthy[a] {
+			return fmt.Errorf("runtime: stream %d assigned to down server %d", i, a)
+		}
+	}
+	return nil
+}
+
+// applyLinkScales multiplies the system's uplinks by the per-server link
+// scales, copying the server slice so the caller's system is untouched.
+func applyLinkScales(sys *objective.System, scales []float64) {
+	if scales == nil {
+		return
+	}
+	scaled := false
+	for _, s := range scales {
+		if s != 1 {
+			scaled = true
+			break
+		}
+	}
+	if !scaled {
+		return
+	}
+	servers := append([]cluster.Server(nil), sys.Servers...)
+	for j := range servers {
+		servers[j].Uplink *= scales[j]
+	}
+	sys.Servers = servers
+}
+
+func countDegradedLinks(scales []float64) float64 {
+	n := 0.0
+	for _, s := range scales {
+		if s != 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// serverStreams counts the live streams per physical server under the
+// decision, excluding shed videos and stalled cameras.
+func serverStreams(d eva.Decision, n int, stalled []bool) []int {
+	out := make([]int, n)
+	shed := d.ShedSet(len(d.Configs))
+	for i, a := range d.Assign {
+		if a < 0 || a >= n {
+			continue
+		}
+		v := d.Streams[i].Video
+		if shed != nil && v < len(shed) && shed[v] {
+			continue
+		}
+		if stalled != nil && v < len(stalled) && stalled[v] {
+			continue
+		}
+		out[a]++
+	}
+	return out
 }
 
 func boolField(b bool) float64 {
@@ -223,8 +584,11 @@ func (c *Controller) driftedSystem(epoch int) *objective.System {
 }
 
 // evaluateParallel measures the decision's outcomes on the drifted system,
-// simulating each server in its own goroutine and merging the results.
-func (c *Controller) evaluateParallel(sys *objective.System, d eva.Decision, workers int) (objective.Vector, float64) {
+// simulating each healthy server in its own goroutine and merging the
+// results. Shed videos and stalled cameras contribute nothing; a
+// cancelled ctx makes remaining workers return without simulating, so a
+// mid-epoch cancellation does not wait out every server.
+func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System, d eva.Decision, workers int, healthy []bool, stalled []bool) (objective.Vector, float64) {
 	// The decision's stream parameters were planned against possibly-stale
 	// content: re-derive true per-frame cost from the drifted clips while
 	// keeping the decision's periods and placement.
@@ -236,9 +600,20 @@ func (c *Controller) evaluateParallel(sys *objective.System, d eva.Decision, wor
 		streams[i].Bits = clip.BitsOf(cfg)
 	}
 
+	shed := d.ShedSet(sys.M())
+	skipVideo := func(v int) bool {
+		if shed != nil && v < len(shed) && shed[v] {
+			return true
+		}
+		return stalled != nil && v < len(stalled) && stalled[v]
+	}
+
 	var v objective.Vector
 	m := float64(sys.M())
 	for i, clip := range sys.Clips {
+		if skipVideo(i) {
+			continue
+		}
 		cfg := d.Configs[i]
 		v[objective.Accuracy] += clip.Accuracy(cfg) / m
 		v[objective.Network] += clip.Bandwidth(cfg)
@@ -246,7 +621,7 @@ func (c *Controller) evaluateParallel(sys *objective.System, d eva.Decision, wor
 		v[objective.Energy] += clip.Power(cfg)
 	}
 
-	// Fan out one simulation per server.
+	// Fan out one simulation per healthy server.
 	type serverResult struct {
 		latSum float64
 		frames int
@@ -256,14 +631,22 @@ func (c *Controller) evaluateParallel(sys *objective.System, d eva.Decision, wor
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for j := range sys.Servers {
+		if healthy != nil && !healthy[j] {
+			continue // down servers process nothing
+		}
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
 			var specs []cluster.StreamSpec
 			for i, a := range d.Assign {
-				if a != j {
+				if a != j || skipVideo(streams[i].Video) {
 					continue
 				}
 				off := 0.0

@@ -12,7 +12,6 @@ import (
 	"repro/internal/objective"
 	"repro/internal/pamo"
 	"repro/internal/pref"
-	"repro/internal/sched"
 	"repro/internal/videosim"
 )
 
@@ -27,26 +26,7 @@ func testSys(m, n int) *objective.System {
 // zeroJitterScheduler plans a fixed mid-grid configuration with
 // Algorithm 1 each time it is asked.
 func zeroJitterScheduler() Scheduler {
-	return SchedulerFunc(func(sys *objective.System, epoch int) (eva.Decision, error) {
-		cfgs := make([]videosim.Config, sys.M())
-		for i := range cfgs {
-			cfgs[i] = videosim.Config{Resolution: 1000, FPS: 10}
-		}
-		streams := eva.BuildStreams(sys, cfgs)
-		plan, err := sched.Schedule(streams, sys.Servers)
-		if err != nil {
-			return eva.Decision{}, err
-		}
-		specs, _ := plan.ToClusterStreams(streams, sys.Servers)
-		offsets := make([]float64, len(streams))
-		for i := range specs {
-			offsets[i] = specs[i].Offset
-		}
-		return eva.Decision{
-			Configs: cfgs, Streams: streams, Assign: plan.StreamServer,
-			Offsets: offsets, ZeroJit: true,
-		}, nil
-	})
+	return &FixedScheduler{Cfg: videosim.Config{Resolution: 1000, FPS: 10}}
 }
 
 func controller(sys *objective.System, s Scheduler, replanEvery int) *Controller {
@@ -142,9 +122,9 @@ func TestControllerTimeoutMidRun(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	// Slow scheduler: each decision sleeps, so the deadline hits mid-run.
-	slow := SchedulerFunc(func(s *objective.System, epoch int) (eva.Decision, error) {
+	slow := SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
 		time.Sleep(30 * time.Millisecond)
-		return zeroJitterScheduler().Decide(s, epoch)
+		return zeroJitterScheduler().Decide(ctx, s, epoch)
 	})
 	trace, err := controller(sys, slow, 1).Run(ctx, 1000)
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -158,12 +138,12 @@ func TestControllerTimeoutMidRun(t *testing.T) {
 func TestControllerKeepsDecisionOnReplanFailure(t *testing.T) {
 	sys := testSys(4, 3)
 	calls := 0
-	flaky := SchedulerFunc(func(s *objective.System, epoch int) (eva.Decision, error) {
+	flaky := SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
 		calls++
 		if calls > 1 {
 			return eva.Decision{}, errors.New("synthetic failure")
 		}
-		return zeroJitterScheduler().Decide(s, epoch)
+		return zeroJitterScheduler().Decide(ctx, s, epoch)
 	})
 	trace, err := controller(sys, flaky, 2).Run(context.Background(), 6)
 	if err != nil {
@@ -182,7 +162,7 @@ func TestControllerKeepsDecisionOnReplanFailure(t *testing.T) {
 
 func TestControllerFailsWithoutInitialDecision(t *testing.T) {
 	sys := testSys(4, 3)
-	broken := SchedulerFunc(func(s *objective.System, epoch int) (eva.Decision, error) {
+	broken := SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
 		return eva.Decision{}, errors.New("nope")
 	})
 	_, err := controller(sys, broken, 2).Run(context.Background(), 3)
@@ -225,8 +205,8 @@ func TestEventDrivenReplanOnBenefitDrop(t *testing.T) {
 
 func TestControllerWithJCABScheduler(t *testing.T) {
 	sys := testSys(5, 3)
-	jcab := SchedulerFunc(func(s *objective.System, epoch int) (eva.Decision, error) {
-		return baselines.JCAB(s, baselines.JCABOptions{Seed: uint64(epoch)})
+	jcab := SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
+		return baselines.JCAB(ctx, s, baselines.JCABOptions{Seed: uint64(epoch)})
 	})
 	trace, err := controller(sys, jcab, 3).Run(context.Background(), 6)
 	if err != nil {

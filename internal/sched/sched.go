@@ -181,6 +181,50 @@ func Schedule(streams []Stream, servers []cluster.Server) (Plan, error) {
 	return MapGroups(groups, streams, servers), nil
 }
 
+// ScheduleMasked runs Algorithm 1 on the healthy subset of the servers —
+// the shrunken-capacity case when faults take servers down — and returns
+// a plan whose GroupServer/StreamServer indices refer to the FULL servers
+// slice, so callers keep one physical index space across fault states.
+// A nil mask means all servers are healthy. With zero healthy servers, or
+// when no zero-jitter grouping fits the survivors, it returns a wrapped
+// ErrInfeasible.
+func ScheduleMasked(streams []Stream, servers []cluster.Server, healthy []bool) (Plan, error) {
+	if healthy == nil {
+		return Schedule(streams, servers)
+	}
+	if len(healthy) != len(servers) {
+		return Plan{}, fmt.Errorf("sched: mask length %d for %d servers", len(healthy), len(servers))
+	}
+	idx := make([]int, 0, len(servers))
+	for j, ok := range healthy {
+		if ok {
+			idx = append(idx, j)
+		}
+	}
+	if len(idx) == 0 {
+		return Plan{}, fmt.Errorf("%w: no healthy servers", ErrInfeasible)
+	}
+	sub := make([]cluster.Server, len(idx))
+	for k, j := range idx {
+		sub[k] = servers[j]
+	}
+	groups, err := GroupStreams(streams, len(sub))
+	if err != nil {
+		return Plan{}, err
+	}
+	plan := MapGroups(groups, streams, sub)
+	// Remap the compact survivor indices back to physical ones.
+	for g := range plan.GroupServer {
+		plan.GroupServer[g] = idx[plan.GroupServer[g]]
+	}
+	for i, j := range plan.StreamServer {
+		if j >= 0 {
+			plan.StreamServer[i] = idx[j]
+		}
+	}
+	return plan, nil
+}
+
 // Utilizations returns each server's compute utilization Σ pᵢ·sᵢ under the
 // plan — the left-hand side of Const1, useful for capacity reports.
 func (p Plan) Utilizations(streams []Stream, n int) []float64 {

@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"repro/internal/baselines"
@@ -144,12 +145,12 @@ func RunPaMOPlus(sys *System, truth Preference, opt PaMOOptions) (*PaMOResult, e
 
 // RunJCAB runs the JCAB baseline (Lyapunov optimization + First-Fit).
 func RunJCAB(sys *System, opt JCABOptions) (Decision, error) {
-	return baselines.JCAB(sys, opt)
+	return baselines.JCAB(context.Background(), sys, opt)
 }
 
 // RunFACT runs the FACT baseline (block coordinate descent).
 func RunFACT(sys *System, opt FACTOptions) (Decision, error) {
-	return baselines.FACT(sys, opt)
+	return baselines.FACT(context.Background(), sys, opt)
 }
 
 // Evaluate scores a decision on the ground-truth system: analytic
