@@ -21,6 +21,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/pamo"
@@ -38,6 +39,7 @@ func main() {
 	events := flag.String("events", "", "stream telemetry events of every PaMO run as JSONL to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address while running")
 	jsonOut := flag.String("json", "", "write a machine-readable run report (figure wall times + per-phase breakdown) to this file")
+	strict := flag.Bool("strict", false, "run every PaMO invocation under the exact invariant checker in strict mode: feasibility or GP-guard violations abort the figure")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -109,6 +111,9 @@ func main() {
 			Batch: 2, MCSamples: 16, CandPool: 10, MaxIter: 5}
 	}
 	po.Obs = rec
+	if *strict || rec != nil {
+		po.Check = check.New(*strict, rec)
+	}
 
 	w := os.Stdout
 	start := time.Now()

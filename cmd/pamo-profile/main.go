@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/videosim"
@@ -25,6 +26,7 @@ func main() {
 	samples := flag.Int("samples", 1, "measurements per configuration (with -noisy)")
 	link := flag.Float64("link", 100e6, "link bandwidth for the latency column (bits/s)")
 	events := flag.String("events", "", "write per-clip profiling telemetry as JSONL to this file")
+	strict := flag.Bool("strict", false, "run the invariant checker in strict mode: a non-finite profiling measurement aborts with a non-zero exit")
 	flag.Parse()
 
 	var rec *obs.Recorder
@@ -39,6 +41,16 @@ func main() {
 		defer rec.Close()
 	}
 	measured := rec.Registry().Counter("profile_measurements_total")
+	var chk *check.Checker
+	if *strict || rec != nil {
+		chk = check.New(*strict, rec)
+	}
+	audit := func(clip string, vals ...float64) {
+		if err := chk.Finite("profile."+clip, vals...); err != nil {
+			fmt.Fprintf(os.Stderr, "strict check: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	w := os.Stdout
 	fmt.Fprintln(w, "clip,resolution,fps,map,latency_s,bandwidth_bps,compute_tflops,power_w")
@@ -53,12 +65,14 @@ func main() {
 					for k := 0; k < *samples; k++ {
 						m := prof.Measure(clip, cfg)
 						lat := m.ProcTime + m.Bits / *link
+						audit(clip.Name, m.Acc, lat, m.Bandwidth, m.Compute, m.Power)
 						fmt.Fprintf(w, "%s,%g,%g,%.4f,%.5f,%.0f,%.3f,%.3f\n",
 							clip.Name, r, s, m.Acc, lat, m.Bandwidth, m.Compute, m.Power)
 						rows++
 					}
 				} else {
 					lat := clip.ProcTime(r) + clip.BitsPerFrame(r) / *link
+					audit(clip.Name, clip.Accuracy(cfg), lat, clip.Bandwidth(cfg), clip.Compute(cfg), clip.Power(cfg))
 					fmt.Fprintf(w, "%s,%g,%g,%.4f,%.5f,%.0f,%.3f,%.3f\n",
 						clip.Name, r, s, clip.Accuracy(cfg), lat, clip.Bandwidth(cfg), clip.Compute(cfg), clip.Power(cfg))
 					rows++

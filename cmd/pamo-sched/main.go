@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/check"
 	"repro/internal/eva"
 	"repro/internal/exp"
 	"repro/internal/fault"
@@ -82,6 +83,7 @@ func main() {
 	epochs := flag.Int("epochs", 12, "epochs to run with -faults")
 	replanEvery := flag.Int("replan-every", 5, "replan period in epochs with -faults")
 	decideTimeout := flag.Duration("decide-timeout", 0, "per-attempt scheduler deadline with -faults (0 = unbounded)")
+	strict := flag.Bool("strict", false, "run the exact invariant checker in strict mode: any feasibility, GP-guard, or zero-jitter violation aborts with a non-zero exit")
 	flag.Parse()
 
 	var rec *obs.Recorder
@@ -108,6 +110,14 @@ func main() {
 		}
 	}
 
+	// The checker runs whenever it has somewhere to report: strict mode
+	// turns violations into hard errors, while a telemetry run gets the
+	// check_* metrics for free.
+	var chk *check.Checker
+	if *strict || rec != nil {
+		chk = check.New(*strict, rec)
+	}
+
 	truth := objective.UniformPreference()
 	for i, part := range strings.Split(*weights, ",") {
 		if i >= objective.K {
@@ -125,7 +135,7 @@ func main() {
 	norm := objective.NewNormalizer(sys)
 
 	if *faults != "" {
-		runFaulted(sys, truth, rec, *method, *faults, *epochs, *replanEvery, *decideTimeout, *seed, *videos, *servers)
+		runFaulted(sys, truth, rec, chk, *method, *faults, *epochs, *replanEvery, *decideTimeout, *seed, *videos, *servers)
 		return
 	}
 
@@ -135,13 +145,13 @@ func main() {
 	case "pamo":
 		dm := &pref.Oracle{Pref: truth, Rng: stats.NewRNG(*seed)}
 		var res *pamo.Result
-		res, err = pamo.New(sys, dm, pamo.Options{Seed: *seed, UseEUBO: true, Obs: rec}).Run()
+		res, err = pamo.New(sys, dm, pamo.Options{Seed: *seed, UseEUBO: true, Obs: rec, Check: chk}).Run()
 		if err == nil {
 			dec = res.Best.Decision
 		}
 	case "pamo+":
 		var res *pamo.Result
-		res, err = pamo.New(sys, nil, pamo.Options{Seed: *seed, UseTruePref: true, TruePref: truth, Obs: rec}).Run()
+		res, err = pamo.New(sys, nil, pamo.Options{Seed: *seed, UseTruePref: true, TruePref: truth, Obs: rec, Check: chk}).Run()
 		if err == nil {
 			dec = res.Best.Decision
 		}
@@ -161,6 +171,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s failed: %v\n", *method, err)
 		os.Exit(1)
 	}
+	// Audit the final decision under its planned costs (strict-capable) and
+	// its simulated jitter under the true costs (model error: relaxed).
+	if err := chk.VerifyDecision(dec, sys.N()); err != nil {
+		fmt.Fprintf(os.Stderr, "strict check: %v\n", err)
+		os.Exit(1)
+	}
 
 	out := eva.Evaluate(sys, dec)
 	nv := norm.Normalize(out)
@@ -173,6 +189,7 @@ func main() {
 		Benefit:    truth.Benefit(nv),
 		MaxJitter:  eva.MaxJitter(sys, dec),
 	}
+	_ = chk.Relaxed().ObserveJitter(o.MaxJitter, dec.ZeroJit)
 	for i, cfg := range dec.Configs {
 		o.Configs = append(o.Configs, configJSON{
 			Video: sys.Clips[i].Name, Resolution: cfg.Resolution, FPS: cfg.FPS})
@@ -188,16 +205,16 @@ func fixedScheduler() *runtime.FixedScheduler {
 }
 
 // schedulerFor builds the controller scheduler for -faults mode.
-func schedulerFor(method string, truth objective.Preference, rec *obs.Recorder, seed uint64) (runtime.Scheduler, error) {
+func schedulerFor(method string, truth objective.Preference, rec *obs.Recorder, chk *check.Checker, seed uint64) (runtime.Scheduler, error) {
 	switch method {
 	case "pamo":
 		return &runtime.PaMOScheduler{
 			DM:  &pref.Oracle{Pref: truth, Rng: stats.NewRNG(seed)},
-			Opt: pamo.Options{Seed: seed, Obs: rec},
+			Opt: pamo.Options{Seed: seed, Obs: rec, Check: chk},
 		}, nil
 	case "pamo+":
 		return &runtime.PaMOScheduler{
-			Opt: pamo.Options{Seed: seed, UseTruePref: true, TruePref: truth, Obs: rec},
+			Opt: pamo.Options{Seed: seed, UseTruePref: true, TruePref: truth, Obs: rec, Check: chk},
 		}, nil
 	case "jcab":
 		return runtime.SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
@@ -215,7 +232,7 @@ func schedulerFor(method string, truth objective.Preference, rec *obs.Recorder, 
 	return nil, fmt.Errorf("unknown method %q", method)
 }
 
-func runFaulted(sys *objective.System, truth objective.Preference, rec *obs.Recorder,
+func runFaulted(sys *objective.System, truth objective.Preference, rec *obs.Recorder, chk *check.Checker,
 	method, scenarioPath string, epochs, replanEvery int, decideTimeout time.Duration,
 	seed uint64, videos, servers int) {
 	sc, err := fault.LoadFile(scenarioPath)
@@ -228,7 +245,7 @@ func runFaulted(sys *objective.System, truth objective.Preference, rec *obs.Reco
 		fmt.Fprintf(os.Stderr, "faults: %v\n", err)
 		os.Exit(1)
 	}
-	sched, err := schedulerFor(method, truth, rec, seed)
+	sched, err := schedulerFor(method, truth, rec, chk, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -238,7 +255,7 @@ func runFaulted(sys *objective.System, truth objective.Preference, rec *obs.Reco
 		Sched:  sched,
 		Truth:  truth,
 		Norm:   objective.NewNormalizer(sys),
-		Opt:    runtime.Options{ReplanEvery: replanEvery, DecideTimeout: decideTimeout},
+		Opt:    runtime.Options{ReplanEvery: replanEvery, DecideTimeout: decideTimeout, Check: chk},
 		Faults: inj,
 		Obs:    rec,
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/fault"
 	"repro/internal/runtime"
 
@@ -54,6 +55,7 @@ func main() {
 	out := flag.String("o", "trace.json", "output trace path")
 	events := flag.String("events", "", "JSONL telemetry path: written by -run, read by -events-summary")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address during -run")
+	strict := flag.Bool("strict", false, "run the exact invariant checker in strict mode during -run: any feasibility or GP-guard violation aborts with a non-zero exit")
 	flag.Parse()
 
 	switch {
@@ -95,10 +97,14 @@ func main() {
 		sys := tr.System()
 		rec, closeRec := newRecorder(*events, *metricsAddr)
 		defer closeRec()
+		var chk *check.Checker
+		if *strict || rec != nil {
+			chk = check.New(*strict, rec)
+		}
 		truth := objective.UniformPreference()
 		dm := &pref.Oracle{Pref: truth, Rng: stats.NewRNG(*seed)}
 		opt := pamo.Options{
-			Seed: *seed, UseEUBO: true, Measurer: trace.NewReplayer(tr), Obs: rec,
+			Seed: *seed, UseEUBO: true, Measurer: trace.NewReplayer(tr), Obs: rec, Check: chk,
 		}
 		if *fast {
 			opt.InitProfiles = 12
@@ -111,7 +117,7 @@ func main() {
 			opt.MaxIter = 5
 		}
 		if *faults != "" {
-			runFaulted(sys, truth, dm, opt, *faults, *epochs, rec)
+			runFaulted(sys, truth, dm, opt, *faults, *epochs, rec, chk)
 			if rec != nil {
 				fmt.Println("\nphase breakdown:")
 				obs.WriteSpanTable(os.Stdout, rec.SpanSummary())
@@ -120,6 +126,7 @@ func main() {
 		}
 		res, err := pamo.New(sys, dm, opt).Run()
 		fatalIf(err)
+		fatalIf(chk.VerifyDecision(res.Best.Decision, sys.N()))
 		outv := eva.Evaluate(sys, res.Best.Decision)
 		norm := objective.NewNormalizer(sys)
 		fmt.Printf("PaMO on trace: benefit=%.4f iters=%d\n",
@@ -145,7 +152,7 @@ func main() {
 // runFaulted drives the online controller with the PaMO scheduler under a
 // scripted fault scenario, profiling from the recorded trace.
 func runFaulted(sys *objective.System, truth objective.Preference, dm pref.DecisionMaker,
-	opt pamo.Options, scenarioPath string, epochs int, rec *obs.Recorder) {
+	opt pamo.Options, scenarioPath string, epochs int, rec *obs.Recorder, chk *check.Checker) {
 	sc, err := fault.LoadFile(scenarioPath)
 	fatalIf(err)
 	inj, err := fault.NewInjector(sc, sys.N(), sys.M())
@@ -155,7 +162,7 @@ func runFaulted(sys *objective.System, truth objective.Preference, dm pref.Decis
 		Sched:  &runtime.PaMOScheduler{DM: dm, Opt: opt},
 		Truth:  truth,
 		Norm:   objective.NewNormalizer(sys),
-		Opt:    runtime.Options{ReplanEvery: 5},
+		Opt:    runtime.Options{ReplanEvery: 5, Check: chk},
 		Faults: inj,
 		Obs:    rec,
 	}

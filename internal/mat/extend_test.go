@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestCholeskyExtendFailureLeavesFactorUntouched pins the error contract of
+// the incremental extension: a rejected Extend must not modify the factor,
+// so callers (gp.AddObservation's CholJitter fallback, and anything that
+// retries) can keep using it. The instance is chosen so the new pivot is
+// exactly negative, not rounding-borderline: A = I₂, col = [1, 1], diag = 1
+// gives d = 1 + 0 − (1² + 1²) = −1.
+func TestCholeskyExtendFailureLeavesFactorUntouched(t *testing.T) {
+	c, err := Chol(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), c.L.Data...)
+	col := NewVector(2)
+	col[0], col[1] = 1, 1
+	if err := c.Extend(col, 1); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+	if c.L.Rows != 2 || c.L.Cols != 2 {
+		t.Fatalf("factor grew to %dx%d on a failed extension", c.L.Rows, c.L.Cols)
+	}
+	for i, v := range c.L.Data {
+		if v != before[i] {
+			t.Fatalf("L.Data[%d] changed from %v to %v on a failed extension", i, before[i], v)
+		}
+	}
+	// The untouched factor must still solve correctly (A = I ⇒ x = b)...
+	b := NewVector(2)
+	b[0], b[1] = 3, -4
+	x := c.SolveVec(b)
+	if x[0] != 3 || x[1] != -4 {
+		t.Fatalf("solve after failed extension: got %v", x)
+	}
+	// ...and still accept a valid extension.
+	ok := NewVector(2)
+	if err := c.Extend(ok, 2); err != nil {
+		t.Fatalf("valid extension after failed one: %v", err)
+	}
+	if c.L.Rows != 3 {
+		t.Fatalf("factor is %dx%d after valid extension", c.L.Rows, c.L.Cols)
+	}
+}
+
+// FuzzCholeskyExtendVsRefactor differentially fuzzes the O(n²) incremental
+// extension against a from-scratch factorization of the same matrix: for a
+// random SPD matrix, factoring the leading block and extending by the last
+// row/column must solve linear systems identically (to conditioning-scaled
+// round-off) to the full O(n³) factorization. A rejected extension is only
+// acceptable when the full factorization also fails at zero jitter — the two
+// paths must agree on feasibility, not just on values.
+func FuzzCholeskyExtendVsRefactor(f *testing.F) {
+	f.Add(uint64(1), 4)
+	f.Add(uint64(42), 9)
+	f.Add(uint64(7), 1)
+	f.Add(uint64(1234), 20)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		n = 1 + absiE(n)%24
+		rng := rand.New(rand.NewPCG(seed, 0xC401))
+		a := randSPD(rng, n+1)
+
+		sub := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sub.Set(i, j, a.At(i, j))
+			}
+		}
+		c, err := Chol(sub)
+		if err != nil {
+			t.Skip("leading block not factorizable at zero jitter")
+		}
+		col := NewVector(n)
+		for i := 0; i < n; i++ {
+			col[i] = a.At(i, n)
+		}
+		extErr := c.Extend(col, a.At(n, n))
+		full, fullErr := Chol(a)
+		if extErr != nil {
+			if fullErr == nil {
+				t.Fatalf("Extend rejected a matrix the full factorization accepts: %v", extErr)
+			}
+			return
+		}
+		if fullErr != nil {
+			t.Skip("full factorization needed jitter; extension got lucky on rounding")
+		}
+
+		b := NewVector(n + 1)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xe := c.SolveVec(b)
+		xf := full.SolveVec(b)
+		// Solution agreement scaled by the solution magnitude: both factor
+		// the same matrix, differing only in round-off amplified by κ(A).
+		var scale float64 = 1
+		for i := range xf {
+			scale = math.Max(scale, math.Abs(xf[i]))
+		}
+		for i := range xe {
+			if math.Abs(xe[i]-xf[i]) > 1e-6*scale {
+				t.Fatalf("n=%d: x[%d] = %v (extended) vs %v (full)", n, i, xe[i], xf[i])
+			}
+		}
+	})
+}
+
+func absiE(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

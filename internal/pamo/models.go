@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 	"sync/atomic"
 
+	"repro/internal/check"
 	"repro/internal/gp"
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -62,12 +63,15 @@ type metricGP struct {
 	// untelemetered default) is a no-op.
 	cholInc  *obs.Counter
 	cholFull *obs.Counter
+	// chk, when non-nil, verifies the posterior after every incremental
+	// Cholesky extension (finite means, PSD covariance at the new inputs).
+	chk *check.Checker
 }
 
 // newMetricGP builds one outcome GP. mvn, when non-nil, receives this
 // model's posterior-sampling fallbacks so the owning scheduler can
 // attribute them to itself (see gp.SetFallbackCounter).
-func newMetricGP(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter) *metricGP {
+func newMetricGP(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) *metricGP {
 	k := kernel.NewMatern52(3)
 	p := k.LogParams()
 	p[1], p[2], p[3] = math.Log(0.4), math.Log(0.4), math.Log(0.5)
@@ -76,7 +80,7 @@ func newMetricGP(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter) *metricGP {
 	if mvn != nil {
 		g.SetFallbackCounter(mvn)
 	}
-	return &metricGP{g: g, scale: 1, cholInc: cholInc, cholFull: cholFull}
+	return &metricGP{g: g, scale: 1, cholInc: cholInc, cholFull: cholFull, chk: chk}
 }
 
 // add appends one observation.
@@ -109,6 +113,7 @@ func (m *metricGP) refit() error {
 		scaled[i] = y / sd
 	}
 	if n := m.g.N(); n > 0 && n <= len(m.xs) {
+		first := n
 		for i := n; i < len(m.xs); i++ {
 			if err := m.g.AddObservation(m.xs[i], scaled[i]); err != nil {
 				m.cholFull.Inc()
@@ -116,10 +121,30 @@ func (m *metricGP) refit() error {
 			}
 			m.cholInc.Inc()
 		}
-		return m.g.SetTargets(scaled)
+		if err := m.g.SetTargets(scaled); err != nil {
+			return err
+		}
+		return m.verifyPosterior(first)
 	}
 	m.cholFull.Inc()
 	return m.g.Fit(m.xs, scaled)
+}
+
+// verifyPosterior guards the incremental-Cholesky fast path: after
+// Cholesky.Extend the posterior at the newly added inputs must have finite
+// means and a positive semi-definite covariance, so a corrupted factor
+// surfaces here immediately instead of as silently wrong acquisitions.
+// No-op without a checker (the common untelemetered configuration pays
+// nothing).
+func (m *metricGP) verifyPosterior(from int) error {
+	if m.chk == nil || from >= len(m.xs) {
+		return nil
+	}
+	mu, cov := m.g.PredictBatch(m.xs[from:])
+	if err := m.chk.Finite("gp_posterior_mean", mu...); err != nil {
+		return err
+	}
+	return m.chk.PSDCov("gp_posterior_cov", cov)
 }
 
 // optimize tunes the GP hyperparameters by marginal likelihood.
@@ -174,10 +199,10 @@ type clipModels struct {
 	m [numMetrics]*metricGP
 }
 
-func newClipModels(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter) *clipModels {
+func newClipModels(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) *clipModels {
 	var c clipModels
 	for i := range c.m {
-		c.m[i] = newMetricGP(mvn, cholInc, cholFull)
+		c.m[i] = newMetricGP(mvn, cholInc, cholFull, chk)
 	}
 	return &c
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"strings"
 	"sync/atomic"
 
+	"repro/internal/check"
 	"repro/internal/eva"
 	"repro/internal/objective"
 	"repro/internal/obs"
@@ -88,7 +90,16 @@ type Options struct {
 	// metrics of the recorder's registry. Nil disables telemetry at
 	// zero cost.
 	Obs  *obs.Recorder
-	Seed uint64
+	// Check, when non-nil, verifies correctness invariants as the run
+	// proceeds: exact Const1/Const2 feasibility of every planned candidate,
+	// deployed-decision feasibility under the TRUE processing times
+	// (metric-only — model error there is expected and surfaced, not
+	// fatal), finiteness of measured outcomes and benefits, and incumbent
+	// monotonicity in the BO loop (strict only under UseTruePref; a learned
+	// preference refresh legitimately rescales past benefits). A strict
+	// checker turns planner-side violations into hard run errors.
+	Check *check.Checker
+	Seed  uint64
 	// ServerMask restricts planning to the servers marked true (nil = all):
 	// the fault-tolerant runtime sets it so replans after a crash land only
 	// on survivors. Returned assignments still use the full physical server
@@ -96,33 +107,49 @@ type Options struct {
 	ServerMask []bool
 }
 
-// Validate rejects option values the scheduler cannot run with.
+// Validate rejects option values the scheduler cannot run with. Every
+// violation is reported, in struct field order, inside one deterministic
+// error — the old implementation ranged over a map[string]int, so which
+// negative option it named depended on map iteration order and the same
+// bad Options could produce different messages across runs.
 func (o Options) Validate() error {
-	for name, v := range map[string]int{
-		"InitProfiles": o.InitProfiles, "InitObs": o.InitObs,
-		"PrefPairs": o.PrefPairs, "PrefPool": o.PrefPool,
-		"Batch": o.Batch, "MCSamples": o.MCSamples,
-		"CandPool": o.CandPool, "MaxIter": o.MaxIter, "Workers": o.Workers,
-		"SharedDraws": o.SharedDraws,
+	var bad []string
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"InitProfiles", o.InitProfiles},
+		{"InitObs", o.InitObs},
+		{"PrefPairs", o.PrefPairs},
+		{"PrefPool", o.PrefPool},
+		{"Batch", o.Batch},
+		{"MCSamples", o.MCSamples},
+		{"SharedDraws", o.SharedDraws},
+		{"CandPool", o.CandPool},
+		{"MaxIter", o.MaxIter},
+		{"Workers", o.Workers},
 	} {
-		if v < 0 {
-			return fmt.Errorf("pamo: option %s is negative (%d)", name, v)
+		if f.v < 0 {
+			bad = append(bad, fmt.Sprintf("option %s is negative (%d)", f.name, f.v))
 		}
 	}
 	if o.Delta < 0 {
-		return fmt.Errorf("pamo: Delta is negative (%v)", o.Delta)
+		bad = append(bad, fmt.Sprintf("Delta is negative (%v)", o.Delta))
 	}
 	switch o.Acq {
 	case "", QNEI, QEI, QUCB, QSR:
 	default:
-		return fmt.Errorf("pamo: unknown acquisition %q", o.Acq)
+		bad = append(bad, fmt.Sprintf("unknown acquisition %q", o.Acq))
 	}
-	for _, r := range o.ROIGrid {
+	for i, r := range o.ROIGrid {
 		if r <= 0 || r > 1 {
-			return fmt.Errorf("pamo: ROI grid value %v outside (0, 1]", r)
+			bad = append(bad, fmt.Sprintf("ROIGrid[%d] = %v outside (0, 1]", i, r))
 		}
 	}
-	return nil
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("pamo: %s", strings.Join(bad, "; "))
 }
 
 func (o Options) withDefaults() Options {
@@ -195,8 +222,9 @@ type Scheduler struct {
 	profiles       int
 	tournamentAsks int
 
-	rec *obs.Recorder
-	met schedMetrics
+	rec      *obs.Recorder
+	met      schedMetrics
+	acqRound uint64 // acquisition rounds run, keys per-round RNG streams
 	// mvn counts THIS scheduler's posterior-sampling fallbacks: it is
 	// injected into every outcome GP and the preference model, so
 	// concurrently running schedulers no longer cross-attribute each
@@ -225,7 +253,7 @@ func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
 	s.met = newSchedMetrics(opt.Obs.Registry())
 	s.clips = make([]*clipModels, sys.M())
 	for i := range s.clips {
-		s.clips[i] = newClipModels(&s.mvn, s.met.cholInc, s.met.cholFull)
+		s.clips[i] = newClipModels(&s.mvn, s.met.cholInc, s.met.cholFull, opt.Check)
 	}
 	if !opt.UseTruePref {
 		s.learner = pref.NewLearner(dm, opt.UseEUBO, stats.NewRNG(opt.Seed+0xE0B0))
@@ -311,6 +339,10 @@ func (s *Scheduler) solutionPhase() (*Result, error) {
 
 	res := &Result{}
 	zPrev := math.Inf(-1)
+	// The incumbent is strictly non-decreasing only when the benefit scale
+	// is fixed (UseTruePref); a learned preference model refreshes between
+	// iterations and may legitimately rescale every past benefit.
+	guard := s.opt.Check.NewIncumbent(s.opt.UseTruePref)
 	for iter := 0; iter < s.opt.MaxIter; iter++ {
 		if s.ctx != nil && s.ctx.Err() != nil {
 			return nil, s.ctx.Err()
@@ -332,6 +364,10 @@ func (s *Scheduler) solutionPhase() (*Result, error) {
 		}
 		s.refreshBenefits()
 		z := s.bestObservation().Benefit
+		if err := guard.Observe(z); err != nil {
+			iterSp.End()
+			return nil, fmt.Errorf("pamo: iteration %d: %w", iter+1, err)
+		}
 		res.History = append(res.History, z)
 		s.met.bestBenefit.Set(z)
 		iterSp.Field("candidates", float64(len(cands)))

@@ -1,6 +1,7 @@
 package pamo
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	goruntime "runtime"
@@ -11,8 +12,19 @@ import (
 	"repro/internal/eva"
 	"repro/internal/objective"
 	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/videosim"
 )
+
+// acqStream derives the two PCG seed words for acquisition round round
+// under seed. Both words pass through stats.SplitMix64, a 64-bit bijection,
+// so the pair is unique for every distinct (seed, round): the first word
+// separates seeds, the second separates rounds within a seed. No two
+// rounds — of this run or of a run with any other seed — can ever replay
+// the same stream, unlike the old Seed^(len(obs)·GOLDEN) derivation.
+func acqStream(seed, round uint64) (uint64, uint64) {
+	return stats.SplitMix64(seed), stats.SplitMix64(seed + round + 1)
+}
 
 // benefitSampler adapts the composed model (per-clip outcome GPs →
 // normalized outcome vector → preference GP) into the acq.Sampler
@@ -170,10 +182,14 @@ func (s *Scheduler) selectBatch(cands []candidate) []candidate {
 	for i := range pts {
 		pts[i] = point(i)
 	}
-	// One sampling pass feeds the whole greedy construction. The stream is
-	// keyed on the observation count so every BO iteration draws fresh
-	// noise under the same Options.Seed.
-	rng := rand.New(rand.NewPCG(s.opt.Seed^(uint64(len(s.obs))*0x9E3779B97F4A7C15), 0xACC))
+	// One sampling pass feeds the whole greedy construction. Each
+	// acquisition round owns a collision-free PCG stream (see acqStream):
+	// the old derivation Seed^(len(obs)·GOLDEN) aliased across runs — e.g.
+	// Seed=0 at 0 observations and Seed=GOLDEN at 1 observation XORed to
+	// the very same stream, replaying identical acquisition noise.
+	round := s.acqRound
+	s.acqRound++
+	rng := rand.New(rand.NewPCG(acqStream(s.opt.Seed, round)))
 	z := bs.SampleBenefit(pts, s.opt.SharedDraws, rng)
 
 	var scorer *acq.SharedScorer
@@ -256,6 +272,12 @@ func (s *Scheduler) selectBatchPerTrial(cands []candidate) []candidate {
 	chosenScores := make([]float64, 0, b)
 	inBatch := make([]bool, len(cands))
 	scores := make([]float64, len(cands))
+	// Per-round stream base: SplitMix64 of (Seed, round) keeps the noise
+	// fresh across BO iterations — the old Seed^slot first word replayed
+	// the exact same draws every round — while staying collision-free.
+	round := s.acqRound
+	s.acqRound++
+	base := stats.SplitMix64(s.opt.Seed + round + 1)
 	for len(chosen) < b {
 		slot := uint64(len(chosen))
 		s.scanScores(scores, inBatch, func(ci int) float64 {
@@ -265,13 +287,13 @@ func (s *Scheduler) selectBatchPerTrial(cands []candidate) []candidate {
 			}
 			trial = append(trial, point(ci))
 			// Each candidate evaluation owns a PCG stream keyed on two
-			// distinct words (Seed^slot, ci): no (slot, candidate) pair can
-			// collide with another, unlike the old Seed+slot·131+ci
-			// arithmetic (slot 0/ci 131 aliased slot 1/ci 0), which
-			// correlated acquisition noise across trials. Per-candidate
-			// streams also keep the parallel scan deterministic regardless
-			// of goroutine scheduling.
-			rng := rand.New(rand.NewPCG(s.opt.Seed^slot, uint64(ci)))
+			// distinct words (base^slot, ci): within a round no (slot,
+			// candidate) pair can collide with another, unlike the old
+			// Seed+slot·131+ci arithmetic (slot 0/ci 131 aliased slot 1/
+			// ci 0), which correlated acquisition noise across trials.
+			// Per-candidate streams also keep the parallel scan
+			// deterministic regardless of goroutine scheduling.
+			rng := rand.New(rand.NewPCG(base^slot, uint64(ci)))
 			switch s.opt.Acq {
 			case QEI:
 				return acq.QEI(bs, trial, incumbent, s.opt.MCSamples, rng)
@@ -363,6 +385,12 @@ func (s *Scheduler) observationCandidate(o Observation) candidate {
 // happens, the profiler records fresh per-clip samples, and the preference
 // model gains one comparison against the incumbent.
 func (s *Scheduler) observe(c candidate) (Observation, error) {
+	// Every decision the scheduler emits must satisfy the exact feasibility
+	// constraints under the processing times it was PLANNED with; a failure
+	// here is an Algorithm 1 bug, so it is a hard error under -strict.
+	if err := s.opt.Check.VerifyAssignment(c.streams, c.plan.StreamServer, s.sys.N()); err != nil {
+		return Observation{}, fmt.Errorf("pamo: planned decision: %w", err)
+	}
 	// The deployed streams keep the plan's periods/splitting but the
 	// true processing times and frame sizes apply.
 	streams := append([]sched.Stream(nil), c.streams...)
@@ -380,8 +408,15 @@ func (s *Scheduler) observe(c candidate) (Observation, error) {
 		Offsets: offsets,
 		ZeroJit: true,
 	}
+	// The same decision under TRUE processing times: a violation here is
+	// model error (estimated p below truth), which is an expected operating
+	// condition to surface in check_* metrics, never a hard failure.
+	s.opt.Check.Relaxed().VerifyDecision(dec, s.sys.N())
 	raw := eva.Evaluate(s.sys, dec)
 	norm := s.norm.Normalize(raw)
+	if err := s.opt.Check.Finite("measured_outcomes", raw.Slice()...); err != nil {
+		return Observation{}, fmt.Errorf("pamo: deployed decision: %w", err)
+	}
 	ob := Observation{Decision: dec, Raw: raw, Norm: norm}
 
 	// Update outcome models with fresh profiling at the deployed configs.
@@ -415,6 +450,9 @@ func (s *Scheduler) observe(c candidate) (Observation, error) {
 	}
 
 	ob.Benefit = s.believedBenefit(norm)
+	if err := s.opt.Check.Finite("believed_benefit", ob.Benefit); err != nil {
+		return ob, fmt.Errorf("pamo: believed benefit: %w", err)
+	}
 	s.obs = append(s.obs, ob)
 	s.met.observations.Inc()
 	return ob, nil

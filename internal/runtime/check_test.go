@@ -1,0 +1,102 @@
+package runtime
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/eva"
+	"repro/internal/fault"
+	"repro/internal/objective"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/videosim"
+)
+
+// TestStrictCheckerCleanUnderFaults runs the fault acceptance scenario —
+// server crash, degradation pressure, recovery — under a strict checker:
+// every installed decision (including the degraded replans) must pass the
+// exact feasibility verifier, and the check_* metrics must show decisions
+// were actually audited.
+func TestStrictCheckerCleanUnderFaults(t *testing.T) {
+	sys := uniformSys(6, 3)
+	sc := &fault.Scenario{Name: "crash-recover", Events: []fault.Event{
+		{Epoch: 2, Action: fault.ServerDown, Target: 0},
+		{Epoch: 4, Action: fault.ServerDown, Target: 2},
+		{Epoch: 8, Action: fault.ServerUp, Target: 0},
+	}}
+	// 1000×10 fits 2+ healthy servers but not 1, so the epoch-4 state forces
+	// the degradation policy while other epochs install normal replans.
+	c := faultController(sys, &FixedScheduler{Cfg: videosim.Config{Resolution: 1000, FPS: 10}}, 100, sc, t)
+	rec := obs.NewRecorder(nil)
+	c.Obs = rec
+	c.Opt.Check = check.New(true, rec)
+	trace, err := c.Run(context.Background(), 12)
+	if err != nil {
+		t.Fatalf("strict fault run errored: %v", err)
+	}
+	if len(trace.Reports) != 12 {
+		t.Fatalf("reports = %d", len(trace.Reports))
+	}
+	sawDegraded := false
+	for _, r := range trace.Reports {
+		sawDegraded = sawDegraded || r.Degraded
+	}
+	if !sawDegraded {
+		t.Fatal("scenario never degraded — the degraded-decision audit path was not exercised")
+	}
+	snap := rec.Registry().Snapshot()
+	if snap.Counters["check_checks_decision"] == 0 {
+		t.Fatal("no installed decision was verified")
+	}
+	if snap.Counters["check_checks_jitter"] == 0 {
+		t.Fatal("no epoch jitter was observed by the checker")
+	}
+	if snap.Counters["check_checks_feasibility"] == 0 {
+		t.Fatal("no feasibility check ran")
+	}
+}
+
+// TestStrictCheckerRejectsBuggyScheduler installs a scheduler that emits a
+// structurally valid but exactly infeasible decision: a 5 s⁻¹ and a 10 s⁻¹
+// stream with per-frame cost 0.05 s share one server, so the plan claims
+// Σp = 2·0.05 ≤ gcd = 0.1 — float arithmetic accepts it, exact rational
+// arithmetic refutes it (float64(0.05) > 1/20, and the mixed periods keep
+// utilization at 0.75 so only Const2 is at stake). The old float-tolerance
+// runtime ran this plan; the strict checker must abort with a const2
+// diagnosis.
+func TestStrictCheckerRejectsBuggyScheduler(t *testing.T) {
+	sys := uniformSys(2, 2)
+	buggy := SchedulerFunc(func(ctx context.Context, s *objective.System, epoch int) (eva.Decision, error) {
+		streams := []sched.Stream{
+			{Video: 0, Period: sched.Rat(1, 5), Proc: 0.05},
+			{Video: 1, Period: sched.RatFromFPS(10), Proc: 0.05},
+		}
+		return eva.Decision{
+			Configs: make([]videosim.Config, s.M()),
+			Streams: streams,
+			Assign:  []int{0, 0},
+		}, nil
+	})
+	c := controller(sys, buggy, 5)
+	rec := obs.NewRecorder(nil)
+	c.Opt.Check = check.New(true, rec)
+	_, err := c.Run(context.Background(), 3)
+	if err == nil {
+		t.Fatal("strict run accepted an exactly infeasible decision")
+	}
+	if !strings.Contains(err.Error(), "const2") {
+		t.Fatalf("error does not diagnose const2: %v", err)
+	}
+	// The same run under a relaxed checker proceeds, recording the violation.
+	c2 := controller(sys, buggy, 5)
+	rec2 := obs.NewRecorder(nil)
+	c2.Opt.Check = check.New(false, rec2)
+	if _, err := c2.Run(context.Background(), 3); err != nil {
+		t.Fatalf("relaxed run errored: %v", err)
+	}
+	if rec2.Registry().Snapshot().Counters["check_violation_const2"] == 0 {
+		t.Fatal("relaxed checker did not record the const2 violation")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/eva"
 	"repro/internal/fault"
@@ -131,6 +132,15 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry, doubling per
 	// subsequent retry (default 10ms).
 	RetryBackoff time.Duration
+	// Check, when non-nil, audits the control loop: every installed
+	// decision — scheduler-produced or degraded — is verified against the
+	// exact feasibility constraints under its *planned* processing times
+	// (violations are scheduler bugs; under a strict checker they abort the
+	// run), while the per-epoch re-evaluation under the drifted true
+	// processing times and the simulated jitter are audited through the
+	// checker's relaxed view (violations there are model error by design
+	// and only surface as check_* metrics).
+	Check *check.Checker
 }
 
 // Controller drives the online loop.
@@ -249,6 +259,9 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			sp.End()
 			switch {
 			case err == nil:
+				if verr := opt.Check.VerifyDecision(d, n); verr != nil {
+					return trace, fmt.Errorf("runtime: epoch %d: scheduler decision: %w", epoch, verr)
+				}
 				current = d
 				haveDecision = true
 				replanned = true
@@ -283,6 +296,9 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 				base = current.Configs
 			}
 			current = c.degrade(drifted, healthy, base, current.Shed, current.Downgraded)
+			if verr := opt.Check.VerifyDecision(current, n); verr != nil {
+				return trace, fmt.Errorf("runtime: epoch %d: degraded decision: %w", epoch, verr)
+			}
 			haveDecision = true
 			replanned = true
 			degraded = true
@@ -300,7 +316,14 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		if ctx.Err() != nil {
 			return trace, ctx.Err()
 		}
+		// Jitter under the drifted true processing times: Theorem 1's offsets
+		// were computed for the planned costs, so a drift-induced jitter is
+		// model error, not a scheduler bug — audit it relaxed (metric-only).
+		_ = opt.Check.Relaxed().ObserveJitter(jitter, current.ZeroJit)
 		benefit := c.Truth.Benefit(c.Norm.Normalize(out))
+		if err := opt.Check.Finite("epoch_benefit", benefit); err != nil {
+			return trace, fmt.Errorf("runtime: epoch %d: %w", epoch, err)
+		}
 		if benefit > bestSinceReplan {
 			bestSinceReplan = benefit
 		}
@@ -606,6 +629,23 @@ func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System
 			return true
 		}
 		return stalled != nil && v < len(stalled) && stalled[v]
+	}
+
+	// Audit the deployed decision against the drifted TRUE costs through the
+	// relaxed checker: the plan was feasible under its believed costs, so an
+	// exact-constraint violation here is model error (content drifted under a
+	// running plan), recorded as check_* metrics but never an error.
+	if chk := c.Opt.Check; chk != nil {
+		var liveStreams []sched.Stream
+		var liveAssign []int
+		for i, s := range streams {
+			if skipVideo(s.Video) {
+				continue
+			}
+			liveStreams = append(liveStreams, s)
+			liveAssign = append(liveAssign, d.Assign[i])
+		}
+		_ = chk.Relaxed().VerifyAssignment(liveStreams, liveAssign, sys.N())
 	}
 
 	var v objective.Vector

@@ -1,6 +1,10 @@
 package sched
 
-import "repro/internal/cluster"
+import (
+	"math/big"
+
+	"repro/internal/cluster"
+)
 
 // Exact zero-jitter grouping by backtracking. The paper's related work
 // notes non-preemptive periodic scheduling is strongly NP-hard [12] and
@@ -32,9 +36,21 @@ func ExactGroup(streams []Stream, n int) ([][]int, bool) {
 		}
 	}
 
+	// Processing-time sums are exact rationals and the Const2 comparison is
+	// tolerance-free, matching CheckConst2: the search decides the same
+	// predicate the checker verifies.
+	procR := make([]*big.Rat, len(streams))
+	for i, s := range streams {
+		if procR[i] = ratFromFloat(s.Proc); procR[i] == nil {
+			return nil, false
+		}
+	}
 	groups := make([][]int, n)
 	gcds := make([]Rational, n)
-	procs := make([]float64, n)
+	procs := make([]*big.Rat, n)
+	for j := range procs {
+		procs[j] = new(big.Rat)
+	}
 	used := 0 // number of non-empty groups, for symmetry breaking
 
 	var rec func(k int) bool
@@ -52,8 +68,8 @@ func ExactGroup(streams []Stream, n int) ([][]int, bool) {
 		}
 		for j := 0; j < limit; j++ {
 			newGCD := RatGCD(gcds[j], s.Period)
-			newProc := procs[j] + s.Proc
-			if newProc > newGCD.Float()+1e-12 {
+			newProc := new(big.Rat).Add(procs[j], procR[si])
+			if newProc.Cmp(newGCD.BigRat()) > 0 {
 				continue
 			}
 			oldGCD, oldProc := gcds[j], procs[j]

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/big"
 	"slices"
 
 	"repro/internal/cluster"
@@ -31,12 +32,11 @@ func (s Stream) FPS() float64 { return 1 / s.Period.Float() }
 func SplitHighRate(streams []Stream) []Stream {
 	var out []Stream
 	for _, s := range streams {
-		sp := s.Proc / s.Period.Float()
-		if sp <= 1 {
+		c := splitFactor(s)
+		if c <= 1 {
 			out = append(out, s)
 			continue
 		}
-		c := int64(math.Ceil(sp - 1e-12))
 		for k := int64(0); k < c; k++ {
 			sub := s
 			sub.Sub = int(k)
@@ -46,6 +46,34 @@ func SplitHighRate(streams []Stream) []Stream {
 	}
 	return out
 }
+
+// splitFactor returns c = ⌈s·p⌉ = ⌈Proc/Period⌉ computed in exact rational
+// arithmetic (1 when the stream needs no split). The old float path,
+// ⌈Proc/Period.Float() − 1e-12⌉, under-split when s·p sat marginally above
+// an integer: sp = 3+1e-13 yielded c = 3 sub-streams of period 3·T with
+// p/(3T) > 1 — each sub-stream alone still self-queues, and Const2 is
+// unsatisfiable for it on any server. The exact ceiling guarantees
+// p ≤ c·T, and therefore s'·p ≤ 1, exactly. Non-finite or non-positive
+// processing times never split.
+func splitFactor(s Stream) int64 {
+	sp := ratFromFloat(s.Proc)
+	if sp == nil || sp.Sign() <= 0 {
+		return 1
+	}
+	sp.Mul(sp, big.NewRat(s.Period.Den, s.Period.Num)) // Proc / Period, exact
+	if sp.Cmp(ratOne) <= 0 {
+		return 1
+	}
+	c := ratCeil(sp)
+	if !c.IsInt64() {
+		// Degenerate inputs (absurdly large Proc): saturate rather than
+		// silently truncate big.Int bits.
+		return math.MaxInt64
+	}
+	return c.Int64()
+}
+
+var ratOne = big.NewRat(1, 1)
 
 // ErrInfeasible is returned when Algorithm 1 cannot group the streams into
 // the available servers under Const2.
@@ -95,17 +123,27 @@ func GroupStreams(streams []Stream, n int) ([][]int, error) {
 	}
 	slices.SortStableFunc(idx, func(a, b int) int { return prio[a] - prio[b] })
 
-	// Lines 4–19: greedy grouping.
+	// Lines 4–19: greedy grouping. Processing-time sums are accumulated as
+	// exact rationals (floats are dyadic rationals, so the sums are exact)
+	// and compared against the group's minimum period without tolerance:
+	// the old `Σp ≤ T.Float()+1e-12` admission accepted groups that
+	// marginally violate Theorem 3's Σp ≤ T condition, voiding the
+	// zero-jitter guarantee by up to one epsilon of queueing per hyperperiod.
 	groups := make([][]int, n)
-	gmin := make([]Rational, n)   // min period per group
-	gproc := make([]float64, n)   // Σ proc per group
+	gmin := make([]Rational, n)    // min period per group
+	gproc := make([]*big.Rat, n)   // Σ proc per group, exact
 	for _, oi := range idx {
 		si := order[oi]
 		s := streams[si]
 		placed := false
+		procR := ratFromFloat(s.Proc)
+		if procR == nil {
+			return nil, fmt.Errorf("%w: stream video=%d sub=%d has non-finite p=%v",
+				ErrInfeasible, s.Video, s.Sub, s.Proc)
+		}
 		// A stream whose processing time exceeds its own period violates
 		// Const2 even alone; the caller should have split it (Section 3).
-		if s.Proc > s.Period.Float()+1e-12 {
+		if procR.Cmp(s.Period.BigRat()) > 0 {
 			return nil, fmt.Errorf("%w: stream video=%d sub=%d has p=%.4fs > T=%s (split it first)",
 				ErrInfeasible, s.Video, s.Sub, s.Proc, s.Period)
 		}
@@ -113,13 +151,14 @@ func GroupStreams(streams []Stream, n int) ([][]int, error) {
 			if len(groups[j]) == 0 {
 				groups[j] = append(groups[j], si)
 				gmin[j] = s.Period
-				gproc[j] = s.Proc
+				gproc[j] = new(big.Rat).Set(procR)
 				placed = true
 				break
 			}
-			if s.Period.IsMultipleOf(gmin[j]) && gproc[j]+s.Proc <= gmin[j].Float()+1e-12 {
+			if s.Period.IsMultipleOf(gmin[j]) &&
+				new(big.Rat).Add(gproc[j], procR).Cmp(gmin[j].BigRat()) <= 0 {
 				groups[j] = append(groups[j], si)
-				gproc[j] += s.Proc
+				gproc[j].Add(gproc[j], procR)
 				placed = true
 				break
 			}
@@ -237,42 +276,70 @@ func (p Plan) Utilizations(streams []Stream, n int) []float64 {
 	return load
 }
 
-// CheckConst1 verifies Eq. (6): on every server, Σ pᵢ·sᵢ ≤ 1.
+// CheckConst1 verifies Eq. (6) exactly: on every server, Σ pᵢ·sᵢ ≤ 1.
+// Utilizations are accumulated as exact rationals — pᵢ is a dyadic
+// rational, sᵢ = Den/Num of the exact period — so a load of exactly 1 is
+// accepted and any excess, however marginal, is rejected. (The old float
+// check admitted loads up to 1+1e-9, i.e. genuinely overloaded servers.)
+// Streams with non-finite processing times or out-of-range assignments
+// fail the check.
 func CheckConst1(streams []Stream, streamServer []int, n int) bool {
-	load := make([]float64, n)
+	load := make([]*big.Rat, n)
 	for i, s := range streams {
 		j := streamServer[i]
-		if j < 0 {
+		if j < 0 || j >= n {
 			return false
 		}
-		load[j] += s.Proc / s.Period.Float()
+		u := ratFromFloat(s.Proc)
+		if u == nil {
+			return false
+		}
+		u.Mul(u, big.NewRat(s.Period.Den, s.Period.Num)) // p/T, exact
+		if load[j] == nil {
+			load[j] = u
+		} else {
+			load[j].Add(load[j], u)
+		}
 	}
 	for _, l := range load {
-		if l > 1+1e-9 {
+		if l != nil && l.Cmp(ratOne) > 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// CheckConst2 verifies Eq. (7): on every server, Σ pᵢ ≤ gcd of the periods
-// of the streams scheduled there.
+// CheckConst2 verifies Eq. (7) exactly: on every server, Σ pᵢ ≤ gcd of the
+// periods of the streams scheduled there. The processing-time sum over a
+// server is expressed over a common denominator via exact rational
+// accumulation and compared against the exact gcd with no tolerance. The
+// old check compared against gcds[j].Float()+1e-12, so a plan whose Σ pᵢ
+// exceeds the gcd by up to 1e-12 passed while actually self-queueing —
+// silently voiding the paper's zero-jitter latency claim (Theorems 1–3).
 func CheckConst2(streams []Stream, streamServer []int, n int) bool {
-	procSum := make([]float64, n)
+	procSum := make([]*big.Rat, n)
 	gcds := make([]Rational, n)
 	for i, s := range streams {
 		j := streamServer[i]
-		if j < 0 {
+		if j < 0 || j >= n {
 			return false
 		}
-		procSum[j] += s.Proc
+		p := ratFromFloat(s.Proc)
+		if p == nil {
+			return false
+		}
+		if procSum[j] == nil {
+			procSum[j] = p
+		} else {
+			procSum[j].Add(procSum[j], p)
+		}
 		gcds[j] = RatGCD(gcds[j], s.Period)
 	}
 	for j := 0; j < n; j++ {
 		if gcds[j].Num == 0 {
 			continue // empty server
 		}
-		if procSum[j] > gcds[j].Float()+1e-12 {
+		if procSum[j].Cmp(gcds[j].BigRat()) > 0 {
 			return false
 		}
 	}

@@ -45,8 +45,12 @@ func TestSplitHighRate(t *testing.T) {
 }
 
 func TestSplitExactBoundaryNotSplit(t *testing.T) {
-	// s·p = exactly 1: one server can just keep up; no split.
-	streams := []Stream{{Period: RatFromFPS(10), Proc: 0.1}}
+	// s·p = exactly 1: one server can just keep up; no split. The period
+	// and processing time are both dyadic (1/8 s) so the boundary is exact
+	// in float64 too. (0.1 against fps 10 is NOT on the boundary: float64
+	// 0.1 is marginally above the rational 1/10, so that stream genuinely
+	// self-queues and must split — see TestSplitExactBoundary below.)
+	streams := []Stream{{Period: RatFromFPS(8), Proc: 0.125}}
 	if out := SplitHighRate(streams); len(out) != 1 {
 		t.Fatalf("boundary stream split into %d", len(out))
 	}

@@ -11,6 +11,19 @@ func NewRNG(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 }
 
+// SplitMix64 is the finalizer of the splitmix64 generator: a bijective
+// mixing of the 64-bit input whose outputs pass statistical tests even on
+// sequential inputs. Use it to derive independent PCG seed words from
+// structured counters — because it is a bijection, distinct inputs can
+// never collide, unlike ad-hoc XOR/multiply schemes (Seed^(k·GOLDEN) maps
+// both (0, 0) and (GOLDEN, 1) to the same stream).
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Halton fills out with n points of the d-dimensional scrambled Halton
 // low-discrepancy sequence in [0,1)^d. The per-dimension digit permutations
 // are drawn from rng, which both breaks the correlation artifacts of the
