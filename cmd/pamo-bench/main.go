@@ -16,9 +16,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"testing"
 	"time"
 
 	"repro/internal/check"
@@ -33,6 +35,7 @@ func main() {
 	reps := flag.Int("reps", 0, "repetitions per data point (0 = paper default)")
 	seed := flag.Uint64("seed", 2024, "base random seed")
 	fast := flag.Bool("fast", false, "shrink PaMO budgets for a quick pass")
+	fleet := flag.Bool("fleet", false, "skip the figures and run the fleet-scale replan benchmark (cold vs warm), writing a BENCH-style JSON report (-json path, default BENCH_pr5.json); -fast shrinks the cluster")
 	svg := flag.String("svg", "", "also write SVG charts into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -41,6 +44,11 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable run report (figure wall times + per-phase breakdown) to this file")
 	strict := flag.Bool("strict", false, "run every PaMO invocation under the exact invariant checker in strict mode: feasibility or GP-guard violations abort the figure")
 	flag.Parse()
+
+	if *fleet {
+		runFleet(os.Stdout, *jsonOut, *fast)
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -120,13 +128,25 @@ func main() {
 	type figTime struct {
 		Figure  string  `json:"figure"`
 		Seconds float64 `json:"seconds"`
+		// Heap traffic of the figure (deltas of runtime.MemStats across the
+		// run): how many objects and bytes it allocated, not what it
+		// retained. The fleet-scale work made these first-class numbers.
+		AllocObjects uint64 `json:"alloc_objects"`
+		AllocBytes   uint64 `json:"alloc_bytes"`
 	}
 	var figTimes []figTime
+	var ms0, ms1 runtime.MemStats
 	run := func(name string, f func()) {
+		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
 		f()
 		d := time.Since(t0)
-		figTimes = append(figTimes, figTime{Figure: name, Seconds: d.Seconds()})
+		runtime.ReadMemStats(&ms1)
+		figTimes = append(figTimes, figTime{
+			Figure: name, Seconds: d.Seconds(),
+			AllocObjects: ms1.Mallocs - ms0.Mallocs,
+			AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+		})
 		fmt.Fprintf(w, "[%s done in %v]\n", name, d.Round(time.Millisecond))
 	}
 
@@ -232,6 +252,76 @@ func main() {
 			}
 		}
 	}
+}
+
+// runFleet benchmarks the fleet-scale control plane (exp.Fleet) twice —
+// Cold, the pre-optimization path that re-solves Algorithm 1 from scratch
+// and reallocates simulation buffers every epoch, and the default warm path
+// (sched.Replanner incremental replans + cluster.Arena buffer reuse) — and
+// writes the before/after comparison as a BENCH-style JSON report.
+func runFleet(w *os.File, jsonPath string, fast bool) {
+	cfg := exp.FleetConfig{}
+	if fast {
+		cfg = exp.FleetConfig{Streams: 32, Servers: 8, Epochs: 4}
+	}
+	bench := func(cold bool) testing.BenchmarkResult {
+		c := cfg
+		c.Cold = cold
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp.Fleet(c)
+			}
+		})
+	}
+	rep := exp.Fleet(cfg) // one reported run: replan mix + determinism fingerprint
+	coldRes := bench(true)
+	warmRes := bench(false)
+
+	fmt.Fprintf(w, "fleet: %d streams x %d servers x %d epochs (%d full + %d incremental replans, %d frames)\n",
+		rep.Streams, rep.Servers, rep.Epochs, rep.FullReplans, rep.IncrementalReplans, rep.Frames)
+	fmt.Fprintf(w, "  cold: %12d ns/op  %12d B/op  %9d allocs/op  (n=%d)\n",
+		coldRes.NsPerOp(), coldRes.AllocedBytesPerOp(), coldRes.AllocsPerOp(), coldRes.N)
+	fmt.Fprintf(w, "  warm: %12d ns/op  %12d B/op  %9d allocs/op  (n=%d)\n",
+		warmRes.NsPerOp(), warmRes.AllocedBytesPerOp(), warmRes.AllocsPerOp(), warmRes.N)
+	speedup := float64(coldRes.NsPerOp()) / float64(warmRes.NsPerOp())
+	allocRatio := float64(coldRes.AllocsPerOp()) / float64(warmRes.AllocsPerOp())
+	fmt.Fprintf(w, "  speedup: %.2fx ns/op, %.2fx allocs/op\n", speedup, allocRatio)
+
+	if jsonPath == "" {
+		jsonPath = "BENCH_pr5.json"
+	}
+	report := map[string]any{
+		"benchmark": "BenchmarkFleetScale",
+		"description": fmt.Sprintf(
+			"fleet-scale control plane: %d streams x %d servers x %d drifting epochs with a flapping server; cold = full Algorithm 1 solve + fresh simulation buffers every epoch, warm = sched.Replanner incremental replans + cluster.Arena reuse",
+			rep.Streams, rep.Servers, rep.Epochs),
+		"command":              "pamo-bench -fleet  (equivalent: go test -run '^$' -bench BenchmarkFleetScale -benchtime 10x -benchmem .)",
+		"cpu":                  fmt.Sprintf("%d-core %s/%s", runtime.NumCPU(), runtime.GOOS, runtime.GOARCH),
+		"before_ns_per_op":     coldRes.NsPerOp(),
+		"after_ns_per_op":      warmRes.NsPerOp(),
+		"speedup":              math.Round(speedup*100) / 100,
+		"before_allocs_per_op": coldRes.AllocsPerOp(),
+		"after_allocs_per_op":  warmRes.AllocsPerOp(),
+		"allocs_ratio":         math.Round(allocRatio*100) / 100,
+		"before_bytes_per_op":  coldRes.AllocedBytesPerOp(),
+		"after_bytes_per_op":   warmRes.AllocedBytesPerOp(),
+		"full_replans":         rep.FullReplans,
+		"incremental_replans":  rep.IncrementalReplans,
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet json: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
 }
 
 // phaseEntry is one row of the report's per-phase breakdown, derived from

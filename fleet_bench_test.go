@@ -1,0 +1,45 @@
+// Fleet-scale benchmark: 256 streams × 32 servers driven through eight
+// drifting, fault-flapping replan+simulate epochs — the steady-state shape
+// of the fault-tolerant runtime two orders of magnitude beyond the paper's
+// testbed. BENCH_pr5.json records the cold-vs-warm numbers; the `cold`
+// sub-benchmark is the pre-optimization path (full Algorithm 1 solve and
+// fresh simulation buffers every epoch) and `warm` is the pooled
+// incremental path (sched.Replanner + cluster.Arena).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func BenchmarkFleetScale(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		cold bool
+	}{{"cold", true}, {"warm", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp.Fleet(exp.FleetConfig{Cold: bc.cold})
+			}
+		})
+	}
+}
+
+// BenchmarkFleetScaleSmall runs the same loop at the paper's testbed scale
+// (8 streams × 5 servers), so the fleet numbers can be compared against a
+// size where the cold path was already cheap.
+func BenchmarkFleetScaleSmall(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		cold bool
+	}{{"cold", true}, {"warm", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp.Fleet(exp.FleetConfig{Streams: 8, Servers: 5, Cold: bc.cold})
+			}
+		})
+	}
+}

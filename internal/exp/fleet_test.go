@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestFleetWarmFirstEpochMatchesCold pins that with a single epoch — where
+// the warm path has nothing to reuse and falls back to a full solve — cold
+// and warm runs produce identical fingerprints: same frames, latencies, and
+// communication cost, just computed in reused buffers.
+func TestFleetWarmFirstEpochMatchesCold(t *testing.T) {
+	cfg := FleetConfig{Streams: 48, Servers: 8, Epochs: 1, FaultEvery: -1}
+	cold := Fleet(FleetConfig{Streams: 48, Servers: 8, Epochs: 1, FaultEvery: -1, Cold: true})
+	warm := Fleet(cfg)
+	cold.FullReplans, warm.FullReplans = 0, 0 // both 1; zero for the compare
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("single-epoch fingerprints diverged:\ncold %+v\nwarm %+v", cold, warm)
+	}
+}
+
+// TestFleetWarmPath exercises the multi-epoch warm loop: the incremental
+// path must carry the steady-state epochs, every plan must stay zero-jitter
+// under the drifted costs (the exact Const2 re-check is what licenses the
+// grouping reuse), and the whole run must be reproducible.
+func TestFleetWarmPath(t *testing.T) {
+	cfg := FleetConfig{Streams: 64, Servers: 8, Epochs: 6, FaultEvery: 3}
+	rep := Fleet(cfg)
+	if rep.FullReplans+rep.IncrementalReplans != cfg.Epochs {
+		t.Fatalf("replans %d+%d don't cover %d epochs",
+			rep.FullReplans, rep.IncrementalReplans, cfg.Epochs)
+	}
+	if rep.IncrementalReplans == 0 {
+		t.Fatal("warm fleet run never took the incremental path")
+	}
+	if rep.FullReplans == 0 {
+		t.Fatal("epoch 0 must be a full solve")
+	}
+	if rep.MaxJitterS > cluster.JitterEps {
+		t.Fatalf("warm fleet run jitter %g above the zero-jitter tolerance", rep.MaxJitterS)
+	}
+	if rep.Frames == 0 || rep.MeanLatencyS <= 0 {
+		t.Fatalf("empty simulation: %+v", rep)
+	}
+	if again := Fleet(cfg); !reflect.DeepEqual(rep, again) {
+		t.Fatalf("warm fleet run not reproducible:\n%+v\n%+v", rep, again)
+	}
+}
+
+// TestFleetColdDeterministic pins the cold baseline's reproducibility too —
+// it is the reference the benchmark's speedup claims are measured against.
+func TestFleetColdDeterministic(t *testing.T) {
+	cfg := FleetConfig{Streams: 48, Servers: 8, Epochs: 4, Cold: true}
+	a, b := Fleet(cfg), Fleet(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("cold fleet run not reproducible:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,44 @@
+//go:build !race
+
+package gp
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestPredictMeanZeroAlloc pins PredictMean — the hot call in candidate
+// planning — to zero heap allocations, both direct and through a warm
+// cross-covariance cache. (Skipped under -race, which instruments
+// allocation.)
+func TestPredictMeanZeroAlloc(t *testing.T) {
+	g, qs := cacheTestModel(t, 16, 3)
+	x := qs[0]
+	if n := testing.AllocsPerRun(100, func() { g.PredictMean(x) }); n != 0 {
+		t.Fatalf("PredictMean allocates %v times per run, want 0", n)
+	}
+	cc := g.NewCrossCache()
+	cc.PredictMean(x) // warm the cache entry
+	if n := testing.AllocsPerRun(100, func() { cc.PredictMean(x) }); n != 0 {
+		t.Fatalf("CrossCache.PredictMean allocates %v times per run, want 0", n)
+	}
+}
+
+// TestPredictBatchWithWarmAllocs bounds the warm-path batch prediction to
+// the single per-call pointer slice for the cached cross-covariances: all
+// float64 scratch comes from the workspace.
+func TestPredictBatchWithWarmAllocs(t *testing.T) {
+	g, qs := cacheTestModel(t, 16, 3)
+	cc := g.NewCrossCache()
+	ws := mat.NewWorkspace()
+	ws.Reset()
+	g.PredictBatchWith(ws, cc, qs) // warm cache and workspace
+	n := testing.AllocsPerRun(100, func() {
+		ws.Reset()
+		g.PredictBatchWith(ws, cc, qs)
+	})
+	if n > 1 {
+		t.Fatalf("warm PredictBatchWith allocates %v times per run, want <= 1", n)
+	}
+}

@@ -1,0 +1,195 @@
+package gp
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// Generation identifies the current factorization epoch of the model. It
+// advances on every full refactorization — Fit, hyperparameter refits, and
+// Extend fallbacks — and stays put across successful incremental
+// AddObservation extensions and SetTargets calls, because neither changes
+// the kernel or invalidates previously computed cross-covariances.
+// CrossCache uses it as its invalidation signal.
+func (g *GP) Generation() uint64 { return g.gen }
+
+// CrossCache memoizes cross-covariance vectors k(x, X) between query points
+// and the model's training inputs. The BO loop scores the same candidate
+// pool every iteration while the training set grows by one point per
+// iteration, so each cached vector is extended with the single new kernel
+// column instead of being recomputed from scratch.
+//
+// Invalidation contract (see DESIGN.md "Scaling"): entries are valid for a
+// fixed (kernel hyperparameters, training prefix) pair. The cache snapshots
+// GP.Generation() and drops everything when it changes — i.e. on Fit,
+// OptimizeHyperparams, or an Extend numerical fallback. A successful
+// AddObservation leaves the generation untouched; cached vectors are then
+// lazily extended (they are strictly a prefix of the new k(x, X)).
+//
+// The cache is safe for concurrent use. Returned vectors are cache-owned
+// and must be treated as read-only; they remain valid (at their returned
+// length) even while other goroutines extend the cache.
+type CrossCache struct {
+	g *GP
+
+	mu      sync.Mutex
+	gen     uint64
+	entries map[string][]float64
+	key     []byte // scratch for building map keys without per-call allocs
+}
+
+// NewCrossCache returns an empty cross-covariance cache bound to g.
+func (g *GP) NewCrossCache() *CrossCache {
+	return &CrossCache{g: g, entries: make(map[string][]float64)}
+}
+
+// Fetch appends the k(x, X) vector of every query point to dst and returns
+// it. The appended slices are cache-owned and read-only. One locked pass
+// covers all queries so a batch prediction pays the mutex once.
+func (c *CrossCache) Fetch(xs [][]float64, dst [][]float64) [][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	for _, x := range xs {
+		dst = append(dst, c.lookup(x))
+	}
+	return dst
+}
+
+// PredictMean returns the posterior mean at x using the cached
+// cross-covariance, bit-identical to GP.PredictMean.
+func (c *CrossCache) PredictMean(x []float64) float64 {
+	g := c.g
+	if g.chol == nil {
+		panic(ErrNotFitted)
+	}
+	c.mu.Lock()
+	ks := func() []float64 { c.sync(); return c.lookup(x) }()
+	c.mu.Unlock()
+	var s float64
+	for i, k := range ks {
+		s += k * g.alpha[i]
+	}
+	return g.mean + s
+}
+
+// sync drops all entries when the model has refactorized since the last
+// call. Must be called with c.mu held.
+func (c *CrossCache) sync() {
+	if g := c.g.Generation(); g != c.gen {
+		clear(c.entries)
+		c.gen = g
+	}
+}
+
+// lookup returns the cached k(x, X) vector, creating or lazily extending it
+// to the current training size. Must be called with c.mu held.
+func (c *CrossCache) lookup(x []float64) []float64 {
+	key := c.key[:0]
+	for _, v := range x {
+		key = binary.LittleEndian.AppendUint64(key, math.Float64bits(v))
+	}
+	c.key = key
+	n := c.g.N()
+	e, ok := c.entries[string(key)]
+	if ok && len(e) == n {
+		return e
+	}
+	// Extension appends to the tail, so slices previously handed out keep
+	// their (shorter) length and stay valid for readers mid-flight.
+	for i := len(e); i < n; i++ {
+		e = append(e, c.g.Kern.Eval(c.g.x[i], x))
+	}
+	c.entries[string(key)] = e
+	return e
+}
+
+// PredictBatchWith is PredictBatch with workspace-backed outputs and an
+// optional cross-covariance cache. The returned mean vector and covariance
+// matrix live in ws and are valid only until the next ws.Reset; results are
+// bit-identical to PredictBatch. A nil cc computes cross-covariances into
+// the workspace instead.
+func (g *GP) PredictBatchWith(ws *mat.Workspace, cc *CrossCache, xs [][]float64) (mu mat.Vector, cov *mat.Matrix) {
+	if g.chol == nil {
+		panic(ErrNotFitted)
+	}
+	n, q := len(g.x), len(xs)
+	var kvecs [][]float64
+	if cc != nil {
+		kvecs = cc.Fetch(xs, make([][]float64, 0, q))
+	} else {
+		kvecs = make([][]float64, q)
+		for j, x := range xs {
+			kj := ws.Vec(n)
+			for i, xi := range g.x {
+				kj[i] = g.Kern.Eval(xi, x)
+			}
+			kvecs[j] = kj
+		}
+	}
+	mu = ws.Vec(q)
+	// Vᵀ stored row-major: row j is L⁻¹·k(x_j, X), so the covariance loop
+	// below streams contiguous rows. Same accumulation order as the n×q
+	// column layout in PredictBatch — identical floats.
+	vt := ws.Mat(q, n)
+	for j := 0; j < q; j++ {
+		kj := mat.Vector(kvecs[j])
+		mat.ForwardSolveTo(vt.Row(j), g.chol.L, kj)
+		mu[j] = g.mean + kj.Dot(g.alpha)
+	}
+	cov = ws.Mat(q, q)
+	for a := 0; a < q; a++ {
+		va := vt.Row(a)
+		for b := a; b < q; b++ {
+			s := g.Kern.Eval(xs[a], xs[b])
+			vb := vt.Row(b)
+			for i := 0; i < n; i++ {
+				s -= va[i] * vb[i]
+			}
+			cov.Set(a, b, s)
+			cov.Set(b, a, s)
+		}
+	}
+	return mu, cov
+}
+
+// SampleJointWith is SampleJoint with workspace-backed intermediates and an
+// optional cross-covariance cache: only the returned sample rows are
+// allocated. The draws are bit-identical to SampleJoint given the same rng
+// state.
+func (g *GP) SampleJointWith(ws *mat.Workspace, cc *CrossCache, xs [][]float64, nSamples int, rng *rand.Rand) [][]float64 {
+	mu, cov := g.PredictBatchWith(ws, cc, xs)
+	q := len(mu)
+	out := make([][]float64, nSamples)
+	f := ws.Mat(q, q)
+	c, err := mat.CholJitterInto(f, cov)
+	if err != nil {
+		mvnFallbacks.Add(1)
+		if g.fallbacks != nil {
+			g.fallbacks.Add(1)
+		}
+	}
+	z := ws.Vec(q)
+	for s := 0; s < nSamples; s++ {
+		row := make([]float64, q)
+		copy(row, mu)
+		if err == nil {
+			for i := range z {
+				z[i] = rng.NormFloat64()
+			}
+			for i := 0; i < q; i++ {
+				var acc float64
+				for j := 0; j <= i; j++ {
+					acc += c.L.At(i, j) * z[j]
+				}
+				row[i] += acc
+			}
+		}
+		out[s] = row
+	}
+	return out
+}

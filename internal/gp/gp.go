@@ -29,6 +29,7 @@ type GP struct {
 	mean  float64    // constant mean subtracted before solving
 	chol  *mat.Cholesky
 	alpha mat.Vector // (K+σₙ²I)⁻¹ (y - mean)
+	gen   uint64     // factorization epoch; see Generation
 
 	// fallbacks, when set, additionally receives every SampleJoint MVN
 	// fallback of THIS model, so an owner (e.g. one pamo.Scheduler) can
@@ -145,8 +146,10 @@ func (g *GP) SetTargets(ys []float64) error {
 }
 
 // refactor recomputes the Cholesky factor and alpha for the current data
-// and hyperparameters.
+// and hyperparameters, advancing the generation so cross-covariance caches
+// drop entries computed under the old kernel or training prefix.
 func (g *GP) refactor() error {
+	g.gen++
 	n := len(g.x)
 	k := mat.NewMatrix(n, n)
 	for i := 0; i < n; i++ {

@@ -1,0 +1,20 @@
+//go:build !race
+
+package hungarian
+
+import "testing"
+
+// TestSolverZeroAllocSteadyState pins the reuse contract: after the first
+// solve at a given size, subsequent solves do not allocate.
+func TestSolverZeroAllocSteadyState(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3, 9},
+		{2, 0, 5, 8},
+		{3, 2, 2, 7},
+	}
+	var s Solver
+	s.Solve(cost) // size the buffers
+	if n := testing.AllocsPerRun(50, func() { s.Solve(cost) }); n != 0 {
+		t.Fatalf("warm Solver.Solve allocates %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,59 @@
+package hungarian
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolverVsSolve pins the buffer-reusing Solver bit-exact against the
+// one-shot Solve across random instances, including +Inf entries and
+// rectangular shapes. One Solver instance is reused across two differently
+// sized solves per input so stale-buffer bugs surface.
+func FuzzSolverVsSolve(f *testing.F) {
+	f.Add(uint64(1), 3, 3, false)
+	f.Add(uint64(7), 2, 4, true)
+	f.Add(uint64(99), 6, 7, true)
+	var s Solver
+	f.Fuzz(func(t *testing.T, seed uint64, n, m int, withInf bool) {
+		n = 1 + absInt(n)%7
+		m = n + absInt(m)%4
+		rng := seed
+		next := func() float64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return float64((rng>>33)%1000) / 100
+		}
+		build := func(rows, cols int) [][]float64 {
+			cost := make([][]float64, rows)
+			for i := range cost {
+				cost[i] = make([]float64, cols)
+				for j := range cost[i] {
+					cost[i][j] = next()
+					if withInf && (rng>>20)%5 == 0 {
+						cost[i][j] = math.Inf(1)
+					}
+				}
+			}
+			return cost
+		}
+		check := func(cost [][]float64) {
+			t.Helper()
+			wantAssign, wantTotal := Solve(cost)
+			gotAssign, gotTotal := s.Solve(cost)
+			if gotTotal != wantTotal {
+				t.Fatalf("Solver total %v, Solve total %v (cost %v)", gotTotal, wantTotal, cost)
+			}
+			if len(gotAssign) != len(wantAssign) {
+				t.Fatalf("Solver assign len %d, want %d", len(gotAssign), len(wantAssign))
+			}
+			for i := range wantAssign {
+				if gotAssign[i] != wantAssign[i] {
+					t.Fatalf("Solver assign %v, Solve assign %v (cost %v)", gotAssign, wantAssign, cost)
+				}
+			}
+		}
+		check(build(n, m))
+		// Re-solve at a different (usually smaller) size with the same
+		// Solver: reused buffers must not leak state between solves.
+		check(build(1+n/2, m))
+	})
+}

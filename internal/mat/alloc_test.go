@@ -1,0 +1,39 @@
+//go:build !race
+
+package mat
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestInPlaceOpsZeroAlloc pins the steady-state allocation budget of the
+// workspace-backed hot path: once a workspace has grown to size, a full
+// solve/multiply cycle must not touch the heap. (Skipped under -race, which
+// instruments allocation.)
+func TestInPlaceOpsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 21))
+	a := ipRandSPD(rng, 32)
+	c, err := Chol(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := Vector(ipRandMatrix(rng, 1, 32).Data)
+	x := ipRandMatrix(rng, 32, 32)
+	w := NewWorkspace()
+	cycle := func() {
+		w.Reset()
+		dst := w.Vec(32)
+		c.SolveVecTo(dst, rhs)
+		m := w.Mat(32, 32)
+		x.MulTo(m, a)
+		f := w.Mat(32, 32)
+		if _, err := CholJitterInto(f, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm the arena
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Fatalf("warm workspace cycle allocates %v times per run, want 0", n)
+	}
+}

@@ -58,26 +58,9 @@ func cholWithJitter(a *Matrix, jitter float64) (*Cholesky, error) {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("mat: Chol on non-square %dx%d", a.Rows, a.Cols))
 	}
-	n := a.Rows
-	l := NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			sum := a.At(i, j)
-			if i == j {
-				sum += jitter
-			}
-			for k := 0; k < j; k++ {
-				sum -= l.At(i, k) * l.At(j, k)
-			}
-			if i == j {
-				if sum <= 0 || math.IsNaN(sum) {
-					return nil, ErrNotPositiveDefinite
-				}
-				l.Set(i, i, math.Sqrt(sum))
-			} else {
-				l.Set(i, j, sum/l.At(j, j))
-			}
-		}
+	l := NewMatrix(a.Rows, a.Rows)
+	if err := cholInto(l, a, jitter); err != nil {
+		return nil, err
 	}
 	return &Cholesky{L: l, Jitter: jitter}, nil
 }

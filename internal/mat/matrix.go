@@ -82,26 +82,13 @@ func (m *Matrix) MulVec(v Vector) Vector {
 	return out
 }
 
-// Mul returns m·b as a new matrix.
+// Mul returns m·b as a new matrix. The product is computed with the
+// column-tiled kernel in MulTo; see there for the determinism contract.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul dims %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		ri := m.Data[i*m.Cols : (i+1)*m.Cols]
-		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, a := range ri {
-			if a == 0 {
-				continue
-			}
-			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range bk {
-				oi[j] += a * bv
-			}
-		}
-	}
-	return out
+	return m.MulTo(NewMatrix(m.Rows, b.Cols), b)
 }
 
 // AddScaledEye adds a*I to the square matrix m in place.

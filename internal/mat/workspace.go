@@ -1,0 +1,83 @@
+package mat
+
+import "sync"
+
+// Workspace is a bump-allocated arena of float64 scratch for the hot
+// prediction and sampling paths: vectors and matrices are carved out of one
+// reusable backing buffer, so a warm workspace serves an entire
+// Predict/sample cycle without touching the garbage collector.
+//
+// Ownership rules (see DESIGN.md "Scaling"):
+//
+//   - A workspace is single-goroutine. Parallel stages take one workspace
+//     per goroutine (GetWorkspace/PutWorkspace pool them).
+//   - Reset invalidates everything previously handed out; callers must not
+//     retain workspace-backed slices across Reset or PutWorkspace. Results
+//     that outlive the call must be copied into caller-owned memory.
+//   - Vec and Mat return zeroed memory, exactly like NewVector/NewMatrix.
+type Workspace struct {
+	buf  []float64
+	off  int
+	hdrs []Matrix
+	hoff int
+}
+
+// NewWorkspace returns an empty workspace. It grows on demand; after the
+// first full cycle at a given problem size, subsequent cycles are
+// allocation-free.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset rewinds the arena, invalidating all outstanding slices while
+// keeping the backing storage for reuse.
+func (w *Workspace) Reset() {
+	w.off = 0
+	w.hoff = 0
+}
+
+// take carves n zeroed float64s out of the arena, growing it if needed.
+// Growth allocates a fresh block; slices handed out earlier keep the old
+// block alive, so they stay valid for the rest of the cycle.
+func (w *Workspace) take(n int) []float64 {
+	if w.off+n > len(w.buf) {
+		grown := 2 * len(w.buf)
+		if grown < w.off+n {
+			grown = w.off + n
+		}
+		w.buf = make([]float64, grown)
+		w.off = 0
+	}
+	s := w.buf[w.off : w.off+n : w.off+n]
+	w.off += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Vec returns a zeroed workspace-backed vector of length n.
+func (w *Workspace) Vec(n int) Vector { return Vector(w.take(n)) }
+
+// Mat returns a zeroed workspace-backed rows×cols matrix.
+func (w *Workspace) Mat(rows, cols int) *Matrix {
+	if w.hoff == len(w.hdrs) {
+		w.hdrs = append(w.hdrs, Matrix{})
+	}
+	m := &w.hdrs[w.hoff]
+	w.hoff++
+	m.Rows, m.Cols = rows, cols
+	m.Data = w.take(rows * cols)
+	return m
+}
+
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace returns a reset workspace from the process-wide pool.
+// Pair every Get with PutWorkspace once no workspace-backed slice is live.
+func GetWorkspace() *Workspace {
+	w := wsPool.Get().(*Workspace)
+	w.Reset()
+	return w
+}
+
+// PutWorkspace returns w to the pool for reuse by any goroutine.
+func PutWorkspace(w *Workspace) { wsPool.Put(w) }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/gp"
 	"repro/internal/kernel"
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/videosim"
 )
@@ -55,6 +56,7 @@ func encodeCfg(c videosim.Config) []float64 {
 // physical scale.
 type metricGP struct {
 	g     *gp.GP
+	cache *gp.CrossCache // memoized k(x, X) for pool scoring across iterations
 	scale float64
 	xs    [][]float64
 	ys    []float64
@@ -80,7 +82,7 @@ func newMetricGP(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.
 	if mvn != nil {
 		g.SetFallbackCounter(mvn)
 	}
-	return &metricGP{g: g, scale: 1, cholInc: cholInc, cholFull: cholFull, chk: chk}
+	return &metricGP{g: g, cache: g.NewCrossCache(), scale: 1, cholInc: cholInc, cholFull: cholFull, chk: chk}
 }
 
 // add appends one observation.
@@ -157,7 +159,7 @@ func (m *metricGP) optimize(nStarts int, rng *rand.Rand) error {
 // every clip of every pool candidate, and the O(n²) variance solve of a
 // full Predict is pure waste there.
 func (m *metricGP) mean(c videosim.Config) float64 {
-	return m.g.PredictMean(encodeCfg(c)) * m.scale
+	return m.cache.PredictMean(encodeCfg(c)) * m.scale
 }
 
 // sampleJoint draws joint posterior samples (physical units) at the given
@@ -167,7 +169,9 @@ func (m *metricGP) sampleJoint(cfgs []videosim.Config, n int, rng *rand.Rand) []
 	for i, c := range cfgs {
 		pts[i] = encodeCfg(c)
 	}
-	out := m.g.SampleJoint(pts, n, rng)
+	ws := mat.GetWorkspace()
+	out := m.g.SampleJointWith(ws, m.cache, pts, n, rng)
+	mat.PutWorkspace(ws)
 	for _, row := range out {
 		for i := range row {
 			row[i] *= m.scale

@@ -132,6 +132,15 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry, doubling per
 	// subsequent retry (default 10ms).
 	RetryBackoff time.Duration
+	// Incremental enables the amortized replan fast path: when the running
+	// decision is a full-capacity zero-jitter plan, a replan epoch first
+	// tries to keep its configurations and grouping and re-solve only the
+	// group→server assignment against the drifted costs and surviving
+	// servers (sched.Replanner). The fast path is taken only when the exact
+	// feasibility conditions still hold; otherwise the scheduler runs as
+	// usual. Off by default: incremental plans freeze the configuration
+	// search, trading plan optimality for replan latency.
+	Incremental bool
 	// Check, when non-nil, audits the control loop: every installed
 	// decision — scheduler-produced or degraded — is verified against the
 	// exact feasibility constraints under its *planned* processing times
@@ -160,6 +169,14 @@ type Controller struct {
 	// utilization/jitter events, and the runtime_*/fault_* metrics of the
 	// recorder's registry. Nil disables telemetry at zero cost.
 	Obs *obs.Recorder
+
+	// Reusable per-server evaluation state: one simulation arena and one
+	// spec buffer per physical server, grown lazily by evaluateParallel.
+	// Index j is touched only by server j's goroutine within an epoch and
+	// epochs are fan-in barriers, so no extra synchronization is needed.
+	arenas      []*cluster.Arena
+	specBufs    [][]cluster.StreamSpec
+	evalStreams []sched.Stream
 }
 
 // ErrNoDecision is returned when the first scheduling attempt fails — the
@@ -186,6 +203,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 	replansDrop := reg.Counter("runtime_replans_drop_total")
 	replansFailed := reg.Counter("runtime_replans_failed_total")
 	replansForced := reg.Counter("runtime_replans_forced_total")
+	replansIncremental := reg.Counter("runtime_replans_incremental_total")
 	degradedEpochs := reg.Counter("runtime_degraded_epochs_total")
 	degradedStreams := reg.Gauge("runtime_degraded_streams")
 	benefitGauge := reg.Gauge("runtime_benefit")
@@ -198,6 +216,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 
 	n := c.Sys.N()
 	trace := &Trace{}
+	rp := sched.NewReplanner()
 	var current eva.Decision
 	haveDecision := false
 	bestSinceReplan := 0.0
@@ -247,42 +266,70 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			if topologyChanged {
 				replansForced.Inc()
 			}
-			sp := c.Obs.StartSpan("replan",
-				obs.F("epoch", float64(epoch)),
-				obs.F("drop_triggered", boolField(dropTriggered)),
-				obs.F("healthy_servers", float64(nHealthy)),
-				obs.F("drift", drift))
-			d, tries, err := c.decide(ctx, drifted, healthy, epoch, opt)
-			attempts = tries
-			sp.Field("failed", boolField(err != nil))
-			sp.Field("attempts", float64(tries))
-			sp.End()
-			switch {
-			case err == nil:
-				if verr := opt.Check.VerifyDecision(d, n); verr != nil {
-					return trace, fmt.Errorf("runtime: epoch %d: scheduler decision: %w", epoch, verr)
+			incInstalled := false
+			if opt.Incremental && haveDecision {
+				if d, ok := c.incrementalReplan(rp, drifted, current, healthy); ok && decisionValid(d, healthy, n) == nil {
+					if verr := opt.Check.VerifyDecision(d, n); verr != nil {
+						return trace, fmt.Errorf("runtime: epoch %d: incremental decision: %w", epoch, verr)
+					}
+					current = d
+					replanned = true
+					dropPending = false
+					bestSinceReplan = math.Inf(-1)
+					replansTotal.Inc()
+					replansIncremental.Inc()
+					if dropTriggered {
+						replansDrop.Inc()
+					}
+					incInstalled = true
+					c.Obs.Event("replan_incremental",
+						obs.F("epoch", float64(epoch)),
+						obs.F("drop_triggered", boolField(dropTriggered)),
+						obs.F("healthy_servers", float64(nHealthy)),
+						obs.F("drift", drift))
 				}
-				current = d
-				haveDecision = true
-				replanned = true
-				dropPending = false
-				bestSinceReplan = math.Inf(-1)
-				replansTotal.Inc()
-				if dropTriggered {
-					replansDrop.Inc()
+			}
+			if !incInstalled {
+				sp := c.Obs.StartSpan("replan",
+					obs.F("epoch", float64(epoch)),
+					obs.F("drop_triggered", boolField(dropTriggered)),
+					obs.F("healthy_servers", float64(nHealthy)),
+					obs.F("drift", drift))
+				d, tries, err := c.decide(ctx, drifted, healthy, epoch, opt)
+				attempts = tries
+				sp.Field("failed", boolField(err != nil))
+				sp.Field("attempts", float64(tries))
+				sp.End()
+				switch {
+				case err == nil:
+					if verr := opt.Check.VerifyDecision(d, n); verr != nil {
+						return trace, fmt.Errorf("runtime: epoch %d: scheduler decision: %w", epoch, verr)
+					}
+					current = d
+					haveDecision = true
+					replanned = true
+					dropPending = false
+					bestSinceReplan = math.Inf(-1)
+					replansTotal.Inc()
+					if dropTriggered {
+						replansDrop.Inc()
+					}
+					if opt.Incremental {
+						adoptIncremental(rp, d, n)
+					}
+				case ctx.Err() != nil:
+					return trace, ctx.Err()
+				case errors.Is(err, sched.ErrInfeasible):
+					// Capacity shrank below what the full workload needs:
+					// shed/downgrade below instead of keeping a stale plan.
+					infeasible = true
+				case !haveDecision:
+					return trace, fmt.Errorf("%w: %v", ErrNoDecision, err)
+				default:
+					// A failed replan keeps the previous decision running.
+					replanFailed = true
+					replansFailed.Inc()
 				}
-			case ctx.Err() != nil:
-				return trace, ctx.Err()
-			case errors.Is(err, sched.ErrInfeasible):
-				// Capacity shrank below what the full workload needs:
-				// shed/downgrade below instead of keeping a stale plan.
-				infeasible = true
-			case !haveDecision:
-				return trace, fmt.Errorf("%w: %v", ErrNoDecision, err)
-			default:
-				// A failed replan keeps the previous decision running.
-				replanFailed = true
-				replansFailed.Inc()
 			}
 		}
 
@@ -304,6 +351,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			degraded = true
 			dropPending = false
 			bestSinceReplan = math.Inf(-1)
+			rp.Invalidate() // degraded configs are not an incremental baseline
 			degradedEpochs.Inc()
 			c.Obs.Event("degraded",
 				obs.F("epoch", float64(epoch)),
@@ -615,7 +663,8 @@ func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System
 	// The decision's stream parameters were planned against possibly-stale
 	// content: re-derive true per-frame cost from the drifted clips while
 	// keeping the decision's periods and placement.
-	streams := append([]sched.Stream(nil), d.Streams...)
+	streams := append(c.evalStreams[:0], d.Streams...)
+	c.evalStreams = streams
 	for i := range streams {
 		clip := sys.Clips[streams[i].Video]
 		cfg := d.Configs[streams[i].Video]
@@ -661,7 +710,18 @@ func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System
 		v[objective.Energy] += clip.Power(cfg)
 	}
 
-	// Fan out one simulation per healthy server.
+	// Fan out one simulation per healthy server. Each server owns a
+	// long-lived arena and spec buffer (index j is only ever touched by
+	// server j's goroutine, and wg.Wait barriers the epochs), so steady-state
+	// evaluation reuses the frame logs instead of reallocating them.
+	for len(c.arenas) < sys.N() {
+		c.arenas = append(c.arenas, cluster.NewArena())
+	}
+	if len(c.specBufs) < sys.N() {
+		bufs := make([][]cluster.StreamSpec, sys.N())
+		copy(bufs, c.specBufs)
+		c.specBufs = bufs
+	}
 	type serverResult struct {
 		latSum float64
 		frames int
@@ -684,7 +744,7 @@ func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System
 				return
 			default:
 			}
-			var specs []cluster.StreamSpec
+			specs := c.specBufs[j][:0]
 			for i, a := range d.Assign {
 				if a != j || skipVideo(streams[i].Video) {
 					continue
@@ -700,7 +760,8 @@ func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System
 					Bits:   streams[i].Bits,
 				})
 			}
-			res := cluster.SimulateServerRecorded(specs, sys.Servers[j], eva.EvalHorizon, c.Obs, j)
+			c.specBufs[j] = specs
+			res := c.arenas[j].SimulateServerRecorded(specs, sys.Servers[j], eva.EvalHorizon, c.Obs, j)
 			for _, f := range res.Frames {
 				results[j].latSum += f.Latency()
 				results[j].frames++

@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/cluster"
+	"repro/internal/hungarian"
+)
+
+// Replanner amortizes Algorithm 1 across runtime epochs. A full solve pays
+// for the O(m²) priority computation and exact-rational greedy admission in
+// GroupStreams on every call; in steady state, though, epochs differ only in
+// drifted per-frame costs (Proc, Bits) and in which servers are healthy —
+// the periods, and therefore every grouping-validity argument that depends
+// on them, are unchanged. Replan exploits that: it keeps the previous
+// grouping, re-verifies Const2 for the drifted processing times with exact
+// rational arithmetic (reused scratch, no big.Rat churn), and re-solves only
+// the group→server Hungarian mapping against the surviving servers.
+//
+// Fallback semantics (see DESIGN.md "Scaling"): the incremental path is
+// taken only when it is provably as correct as a full solve — same streams
+// (Video/Sub/Period), every group's drifted Σ proc still within the exact
+// gcd of its periods (Const2, which implies Const1 since T_i ≥ gcd), and
+// enough healthy servers for the non-empty groups. Anything else falls back
+// to a cold ScheduleMasked, whose result is adopted as the new baseline.
+// Incremental plans can be less optimal than a cold solve (the grouping is
+// frozen), but never less feasible.
+type Replanner struct {
+	valid   bool
+	streams []Stream   // adopted workload; periods are authoritative
+	groups  [][]int    // adopted grouping (deep copy)
+	gcds    []*big.Rat // per-group exact gcd of member periods
+
+	solver hungarian.Solver
+	// Exact Σ proc scratch: float64 processing times are dyadic rationals
+	// m·2^e, so a group's sum is held as sum/2^shift over a common
+	// power-of-two denominator and compared against gcd num/den by
+	// cross-multiplication — same exactness as big.Rat accumulation, none
+	// of Rat.Add's per-step GCD normalization (or its allocations).
+	sum, tmpInt, lhs, rhs big.Int
+	cost                  [][]float64
+	flat                  []float64
+	rows                  []int // group indices entering the assignment problem
+	cols                  []int // physical indices of healthy servers
+}
+
+// NewReplanner returns an empty replanner; the first Replan always runs a
+// full solve.
+func NewReplanner() *Replanner { return &Replanner{} }
+
+// Invalidate drops the adopted grouping, forcing the next Replan to run a
+// full solve. Call it when the workload changes shape outside Replan's view.
+func (r *Replanner) Invalidate() { r.valid = false }
+
+// Replan schedules the streams onto the healthy servers (nil mask = all
+// healthy), reusing the previously adopted grouping when valid and falling
+// back to a full ScheduleMasked otherwise. The boolean reports whether the
+// incremental path was taken.
+func (r *Replanner) Replan(streams []Stream, servers []cluster.Server, healthy []bool) (Plan, bool, error) {
+	if plan, ok := r.Incremental(streams, servers, healthy); ok {
+		return plan, true, nil
+	}
+	plan, err := ScheduleMasked(streams, servers, healthy)
+	if err != nil {
+		r.valid = false
+		return Plan{}, false, err
+	}
+	r.Adopt(streams, plan)
+	return plan, false, nil
+}
+
+// Adopt installs plan as the incremental baseline for subsequent calls. The
+// plan must be a feasible schedule of streams (as produced by Schedule,
+// ScheduleMasked, or a verified external decision); streams and grouping are
+// deep-copied.
+func (r *Replanner) Adopt(streams []Stream, plan Plan) {
+	r.streams = append(r.streams[:0], streams...)
+	if cap(r.groups) < len(plan.Groups) {
+		r.groups = make([][]int, len(plan.Groups))
+	}
+	r.groups = r.groups[:len(plan.Groups)]
+	r.gcds = r.gcds[:0]
+	for g, members := range plan.Groups {
+		r.groups[g] = append(r.groups[g][:0], members...)
+		if len(members) == 0 {
+			r.gcds = append(r.gcds, nil) // empty group: no Const2 budget to check
+			continue
+		}
+		gcd := Rational{}
+		for _, si := range members {
+			gcd = RatGCD(gcd, streams[si].Period)
+		}
+		r.gcds = append(r.gcds, gcd.BigRat())
+	}
+	r.valid = true
+}
+
+// procSumWithinBudget reports whether Σ streams[si].Proc over members is at
+// most budget, computed exactly. The sum is accumulated as a scaled integer
+// sum/2^shift (every finite float64 is m·2^e with |m| < 2^53), then compared
+// by cross-multiplication: sum/2^shift ≤ num/den ⇔ sum·den ≤ num·2^shift.
+// All big.Int scratch lives on the Replanner, so steady-state calls allocate
+// nothing once the scratch has grown. Non-finite processing times report
+// false — the caller treats the drift as unverifiable and falls back.
+func (r *Replanner) procSumWithinBudget(streams []Stream, members []int, budget *big.Rat) bool {
+	r.sum.SetInt64(0)
+	shift := uint(0)
+	for _, si := range members {
+		p := streams[si].Proc
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return false
+		}
+		fr, exp := math.Frexp(p) // p = fr·2^exp, |fr| ∈ [0.5, 1) or 0
+		mant := int64(fr * (1 << 53))
+		e := exp - 53 // p = mant·2^e exactly
+		r.tmpInt.SetInt64(mant)
+		if e >= 0 {
+			r.tmpInt.Lsh(&r.tmpInt, uint(e)+shift)
+		} else if d := uint(-e); d > shift {
+			r.sum.Lsh(&r.sum, d-shift)
+			shift = d
+		} else if shift > d {
+			r.tmpInt.Lsh(&r.tmpInt, shift-d)
+		}
+		r.sum.Add(&r.sum, &r.tmpInt)
+	}
+	r.lhs.Mul(&r.sum, budget.Denom())
+	r.rhs.Lsh(budget.Num(), shift)
+	return r.lhs.Cmp(&r.rhs) <= 0
+}
+
+// Incremental attempts the grouping-reusing replan described on Replanner.
+// It returns ok=false — without touching the adopted state — whenever the
+// fast path cannot prove feasibility, leaving the decision to fall back to
+// the caller.
+func (r *Replanner) Incremental(streams []Stream, servers []cluster.Server, healthy []bool) (Plan, bool) {
+	if !r.valid || len(streams) != len(r.streams) {
+		return Plan{}, false
+	}
+	if healthy != nil && len(healthy) != len(servers) {
+		return Plan{}, false
+	}
+	// The grouping's validity argument rests on the periods (and stream
+	// identity); any change there needs a full regroup.
+	for i, s := range streams {
+		p := r.streams[i]
+		if s.Video != p.Video || s.Sub != p.Sub || s.Period != p.Period {
+			return Plan{}, false
+		}
+	}
+	// Const2 with drifted processing times, exactly: per group,
+	// Σ proc ≤ gcd(periods). Since the gcd divides every member period this
+	// also implies Const1 (Σ p_i/T_i ≤ Σ p_i/gcd ≤ 1).
+	for g, members := range r.groups {
+		if len(members) == 0 {
+			continue
+		}
+		if !r.procSumWithinBudget(streams, members, r.gcds[g]) {
+			return Plan{}, false
+		}
+	}
+	// Healthy columns in physical index order — the same order a masked full
+	// solve uses, so the Hungarian tie-breaking matches it.
+	r.cols = r.cols[:0]
+	for j := range servers {
+		if healthy == nil || healthy[j] {
+			r.cols = append(r.cols, j)
+		}
+	}
+	if len(r.cols) == 0 {
+		return Plan{}, false
+	}
+	// Row selection: normally every group keeps a server (the shape MapGroups
+	// produces); when an outage leaves fewer servers than groups, only the
+	// non-empty groups compete, and the plan compacts to them.
+	r.rows = r.rows[:0]
+	if len(r.groups) <= len(r.cols) {
+		for g := range r.groups {
+			r.rows = append(r.rows, g)
+		}
+	} else {
+		for g, members := range r.groups {
+			if len(members) > 0 {
+				r.rows = append(r.rows, g)
+			}
+		}
+		if len(r.rows) > len(r.cols) {
+			return Plan{}, false
+		}
+	}
+
+	// The cost matrix is padded square with zero-bit dummy rows, exactly as
+	// MapGroups pads missing groups: dummy rows influence Hungarian
+	// tie-breaking among equal-cost columns, so matching the full solve's
+	// shape keeps the incremental assignment bit-identical to MapGroups on
+	// the same grouping.
+	nr, nc := len(r.rows), len(r.cols)
+	if cap(r.flat) < nc*nc {
+		r.flat = make([]float64, nc*nc)
+	}
+	r.flat = r.flat[:nc*nc]
+	if cap(r.cost) < nc {
+		r.cost = make([][]float64, nc)
+	}
+	r.cost = r.cost[:nc]
+	for ri := 0; ri < nc; ri++ {
+		row := r.flat[ri*nc : (ri+1)*nc]
+		r.cost[ri] = row
+		var bits float64
+		if ri < nr {
+			for _, si := range r.groups[r.rows[ri]] {
+				bits += streams[si].Bits
+			}
+		}
+		for ci, j := range r.cols {
+			switch {
+			case servers[j].Uplink > 0:
+				row[ci] = bits / servers[j].Uplink
+			case bits > 0:
+				row[ci] = math.Inf(1)
+			default:
+				row[ci] = 0
+			}
+		}
+	}
+	assign, total := r.solver.Solve(r.cost)
+
+	plan := Plan{
+		Groups:       make([][]int, nr),
+		GroupServer:  make([]int, nc),
+		StreamServer: make([]int, len(streams)),
+		CommLatency:  total,
+	}
+	for i := range plan.StreamServer {
+		plan.StreamServer[i] = -1
+	}
+	for ri := 0; ri < nc; ri++ {
+		srv := r.cols[assign[ri]]
+		plan.GroupServer[ri] = srv
+		if ri >= nr {
+			continue
+		}
+		plan.Groups[ri] = append([]int(nil), r.groups[r.rows[ri]]...)
+		for _, si := range r.groups[r.rows[ri]] {
+			plan.StreamServer[si] = srv
+		}
+	}
+	return plan, true
+}

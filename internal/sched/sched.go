@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	goruntime "runtime"
 	"slices"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/hungarian"
@@ -171,14 +173,45 @@ func GroupStreams(streams []Stream, n int) ([][]int, error) {
 	return groups, nil
 }
 
-// MapGroups runs line 20 of Algorithm 1: assign groups to servers with the
-// Hungarian algorithm, minimizing the total transmission latency
-// Σ_{i∈G_j} bits_i/B_{q_j}.
-func MapGroups(groups [][]int, streams []Stream, servers []cluster.Server) Plan {
-	n := len(servers)
-	cost := make([][]float64, n)
-	for g := range cost {
-		cost[g] = make([]float64, n)
+// mapScratch bundles the reusable state of one MapGroups call: the cost
+// matrix (row headers into one flat backing slice) and a buffer-reusing
+// Hungarian solver. Pooled so concurrent schedulers each grab their own.
+type mapScratch struct {
+	solver hungarian.Solver
+	cost   [][]float64
+	flat   []float64
+}
+
+var mapPool = sync.Pool{New: func() any { return new(mapScratch) }}
+
+// matrix returns a rows×cols cost matrix backed by the scratch buffers,
+// growing them as needed. Contents are stale; every cell is overwritten by
+// the cost build.
+func (sc *mapScratch) matrix(rows, cols int) [][]float64 {
+	if cap(sc.flat) < rows*cols {
+		sc.flat = make([]float64, rows*cols)
+	}
+	sc.flat = sc.flat[:rows*cols]
+	if cap(sc.cost) < rows {
+		sc.cost = make([][]float64, rows)
+	}
+	sc.cost = sc.cost[:rows]
+	for g := range sc.cost {
+		sc.cost[g] = sc.flat[g*cols : (g+1)*cols]
+	}
+	return sc.cost
+}
+
+// parallelCostMin is the matrix size (rows×cols) below which the cost build
+// stays single-threaded: goroutine fan-out costs more than it saves on the
+// few-group instances of the paper's testbed.
+const parallelCostMin = 4096
+
+// costRows fills cost rows [lo, hi): row g is the transmission latency of
+// group g's total bits on each server. Rows are disjoint, so parallel
+// workers produce bit-identical matrices in any interleaving.
+func costRows(cost [][]float64, lo, hi int, groups [][]int, streams []Stream, servers []cluster.Server) {
+	for g := lo; g < hi; g++ {
 		var bits float64
 		if g < len(groups) {
 			for _, si := range groups[g] {
@@ -186,20 +219,64 @@ func MapGroups(groups [][]int, streams []Stream, servers []cluster.Server) Plan 
 			}
 		}
 		for j, srv := range servers {
-			if srv.Uplink > 0 {
+			switch {
+			case srv.Uplink > 0:
 				cost[g][j] = bits / srv.Uplink
-			} else if bits > 0 {
+			case bits > 0:
 				cost[g][j] = math.Inf(1)
+			default:
+				cost[g][j] = 0
 			}
 		}
 	}
-	assign, total := hungarian.Solve(cost)
+}
+
+// buildCosts fills the whole cost matrix, fanning out across GOMAXPROCS
+// workers on fleet-sized instances. Each worker owns a contiguous row range
+// so the result is deterministic.
+func buildCosts(cost [][]float64, groups [][]int, streams []Stream, servers []cluster.Server) {
+	rows := len(cost)
+	workers := goruntime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows*len(servers) < parallelCostMin {
+		costRows(cost, 0, rows, groups, streams, servers)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			costRows(cost, lo, hi, groups, streams, servers)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapGroups runs line 20 of Algorithm 1: assign groups to servers with the
+// Hungarian algorithm, minimizing the total transmission latency
+// Σ_{i∈G_j} bits_i/B_{q_j}.
+func MapGroups(groups [][]int, streams []Stream, servers []cluster.Server) Plan {
+	n := len(servers)
+	sc := mapPool.Get().(*mapScratch)
+	cost := sc.matrix(n, n)
+	buildCosts(cost, groups, streams, servers)
+	assign, total := sc.solver.Solve(cost)
 	plan := Plan{
 		Groups:       groups,
-		GroupServer:  assign,
+		GroupServer:  append([]int(nil), assign...),
 		StreamServer: make([]int, len(streams)),
 		CommLatency:  total,
 	}
+	mapPool.Put(sc)
+	assign = plan.GroupServer
 	for i := range plan.StreamServer {
 		plan.StreamServer[i] = -1
 	}
