@@ -36,6 +36,7 @@ func main() {
 	seed := flag.Uint64("seed", 2024, "base random seed")
 	fast := flag.Bool("fast", false, "shrink PaMO budgets for a quick pass")
 	fleet := flag.Bool("fleet", false, "skip the figures and run the fleet-scale replan benchmark (cold vs warm), writing a BENCH-style JSON report (-json path, default BENCH_pr5.json); -fast shrinks the cluster")
+	shard := flag.Bool("shard", false, "skip the figures and run the sharded control-plane scaling benchmark (4096 streams x 256 servers across shard counts), writing a BENCH-style JSON report (-json path, default BENCH_pr6.json); -fast shrinks the cluster")
 	svg := flag.String("svg", "", "also write SVG charts into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -47,6 +48,10 @@ func main() {
 
 	if *fleet {
 		runFleet(os.Stdout, *jsonOut, *fast)
+		return
+	}
+	if *shard {
+		runShard(os.Stdout, *jsonOut, *fast)
 		return
 	}
 
@@ -319,6 +324,101 @@ func runFleet(w *os.File, jsonPath string, fast bool) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
 		fmt.Fprintf(os.Stderr, "fleet json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+}
+
+// runShard benchmarks the sharded control plane (exp.ShardScale) across
+// shard counts on the same 4096×256 drifting workload and writes the scaling
+// table as a BENCH-style JSON report. The baseline row (Shards=1) is the
+// serial Algorithm 1 solve behind the planner interface; each higher count
+// partitions the streams into cells solved by concurrent per-cell schedulers
+// whose server claims merge through the optimistic arbiter.
+func runShard(w *os.File, jsonPath string, fast bool) {
+	cfg := exp.ShardConfig{}
+	counts := []int{1, 2, 4, 8}
+	if fast {
+		cfg = exp.ShardConfig{Streams: 512, Servers: 64, Epochs: 2}
+		counts = []int{1, 2, 4}
+	}
+
+	type row struct {
+		Shards            int     `json:"shards"`
+		NsPerOp           int64   `json:"ns_per_op"`
+		AllocsPerOp       int64   `json:"allocs_per_op"`
+		BytesPerOp        int64   `json:"bytes_per_op"`
+		ConflictsPerEpoch float64 `json:"conflicts_per_epoch"`
+		RetriesPerEpoch   float64 `json:"retries_per_epoch"`
+		RoundsPerEpoch    float64 `json:"rounds_per_epoch"`
+		RetryHist         [8]int  `json:"commit_retry_hist"`
+		Fallbacks         int     `json:"fallbacks"`
+		Speedup           float64 `json:"speedup_vs_serial"`
+	}
+	rows := make([]row, 0, len(counts))
+	var rep exp.ShardReport
+	for _, shards := range counts {
+		c := cfg
+		c.Shards = shards
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp.ShardScale(c)
+			}
+		})
+		rep = exp.ShardScale(c) // one reported run for the protocol stats
+		ep := float64(rep.Epochs)
+		rows = append(rows, row{
+			Shards: shards, NsPerOp: res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(), BytesPerOp: res.AllocedBytesPerOp(),
+			ConflictsPerEpoch: float64(rep.Conflicts) / ep,
+			RetriesPerEpoch:   float64(rep.Retries) / ep,
+			RoundsPerEpoch:    float64(rep.Rounds) / ep,
+			RetryHist:         rep.RetryHist, Fallbacks: rep.Fallbacks,
+		})
+		fmt.Fprintf(w, "shards=%d: %12d ns/op  %12d B/op  %9d allocs/op  conflicts/epoch=%.1f rounds/epoch=%.1f  (n=%d)\n",
+			shards, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp(),
+			float64(rep.Conflicts)/ep, float64(rep.Rounds)/ep, res.N)
+	}
+	base := float64(rows[0].NsPerOp)
+	var speedup4 float64
+	for i := range rows {
+		rows[i].Speedup = math.Round(base/float64(rows[i].NsPerOp)*100) / 100
+		if rows[i].Shards == 4 {
+			speedup4 = rows[i].Speedup
+		}
+	}
+	fmt.Fprintf(w, "  speedup at 4 shards: %.2fx ns/op vs serial\n", speedup4)
+
+	if jsonPath == "" {
+		jsonPath = "BENCH_pr6.json"
+	}
+	report := map[string]any{
+		"benchmark": "BenchmarkShardScale",
+		"description": fmt.Sprintf(
+			"sharded control plane: %d streams x %d servers x %d drifting epochs; Shards=1 is the serial Algorithm 1 solve, higher counts run one PaMO-style cell scheduler per shard with optimistic cross-cell server claims resolved by the exact-rational arbiter",
+			rep.Streams, rep.Servers, rep.Epochs),
+		"command":             "pamo-bench -shard  (fast variant: pamo-bench -shard -fast)",
+		"cpu":                 fmt.Sprintf("%d-core %s/%s", runtime.NumCPU(), runtime.GOOS, runtime.GOARCH),
+		"rows":                rows,
+		"speedup_at_4_shards": speedup4,
+		"strict_violations":   rep.Violations,
+		"notes": []string{
+			"every benchmarked epoch is audited by the strict exact-constraint checker; a single Const1/Const2 violation on a shared server panics the run",
+			"on a single-core host the speedup is algorithmic work reduction — per-cell grouping is O((m/C)^2) and each cell assigns over a small rotated candidate-column window — so multicore hosts see additional parallel headroom on top of these numbers",
+			"cell-rotated candidate ordering decorrelates the cells' preferred servers; conflicts/epoch stays near zero on this workload, and the conflict/retry machinery is exercised by the unit and fuzz suites instead",
+		},
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard json: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "shard json: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(w, "wrote %s\n", jsonPath)

@@ -41,6 +41,58 @@ func (c *Checker) VerifyAssignment(streams []sched.Stream, assign []int, nServer
 	return nil
 }
 
+// VerifyPlan checks a scheduling plan — serial or assembled by the sharded
+// arbiter from several cells' commits — for structural consistency and the
+// exact feasibility constraints. Structure: Groups and GroupServer agree in
+// shape, every stream sits in exactly one group, StreamServer mirrors the
+// grouping, and no stream lands on an unhealthy server (healthy may be nil
+// = all up). Feasibility: the exact Const1/Const2 checks of
+// VerifyAssignment over the MERGED per-server stream sets, so a server
+// shared by multiple cells is audited over the union of everything
+// committed onto it — the property the arbiter's exactness is load-bearing
+// for.
+func (c *Checker) VerifyPlan(streams []sched.Stream, plan sched.Plan, nServers int, healthy []bool) error {
+	if c == nil {
+		return nil
+	}
+	c.begin("plan")
+	if len(plan.Groups) != len(plan.GroupServer) {
+		return c.violate("shape", "%d groups vs %d group servers", len(plan.Groups), len(plan.GroupServer))
+	}
+	if len(plan.StreamServer) != len(streams) {
+		return c.violate("shape", "%d stream servers for %d streams", len(plan.StreamServer), len(streams))
+	}
+	seen := make([]bool, len(streams))
+	for g, members := range plan.Groups {
+		j := plan.GroupServer[g]
+		if j < 0 || j >= nServers {
+			return c.violate("assign_range", "group %d mapped to server %d of %d", g, j, nServers)
+		}
+		if healthy != nil && !healthy[j] {
+			return c.violate("mask", "group %d mapped to unhealthy server %d", g, j)
+		}
+		for _, i := range members {
+			if i < 0 || i >= len(streams) {
+				return c.violate("shape", "group %d contains stream index %d of %d", g, i, len(streams))
+			}
+			if seen[i] {
+				return c.violate("shape", "stream %d appears in more than one group", i)
+			}
+			seen[i] = true
+			if plan.StreamServer[i] != j {
+				return c.violate("shape", "stream %d: group %d says server %d but StreamServer says %d",
+					i, g, j, plan.StreamServer[i])
+			}
+		}
+	}
+	for i := range streams {
+		if !seen[i] {
+			return c.violate("shape", "stream %d is in no group", i)
+		}
+	}
+	return c.VerifyAssignment(streams, plan.StreamServer, nServers)
+}
+
 // VerifyDecision checks a complete scheduling decision: structural
 // consistency (offsets, shed list) plus the exact feasibility constraints
 // of VerifyAssignment. Degraded decisions (shed/downgraded videos) go

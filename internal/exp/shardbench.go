@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// ShardConfig sizes the sharded control-plane scaling benchmark: a cluster
+// another order of magnitude past the fleet bench (4096 streams × 256
+// servers by default) solved repeatedly under drift at a given shard count.
+// The benchmark measures the scheduling solve alone — no DES — because the
+// question it answers is how the control plane itself scales.
+type ShardConfig struct {
+	Streams int // pre-split stream count (default 4096)
+	Servers int // default 256
+	Epochs  int // solves per run, each on drifted costs (default 4)
+	Shards  int // cells (default 1 = the serial baseline)
+	Seed    uint64
+}
+
+func (c ShardConfig) withDefaults() ShardConfig {
+	if c.Streams == 0 {
+		c.Streams = 4096
+	}
+	if c.Servers == 0 {
+		c.Servers = 256
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 4
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 2024
+	}
+	return c
+}
+
+// ShardReport aggregates one run: protocol stats summed over epochs plus
+// the strict-mode violation count (always zero, or the run panicked).
+type ShardReport struct {
+	Streams, Servers, Epochs, Shards int
+	Conflicts, Retries, Commits      int
+	Rounds, Fallbacks                int
+	RetryHist                        [8]int // commits by retry count, last bucket 7+
+	CommLatencyS                     float64
+	Violations                       uint64
+}
+
+// shardWorkload builds the deterministic 4096×256-class workload: harmonic
+// periods, per-frame costs sized for ~60% of the tightest per-group budget
+// at 16 streams/server, heterogeneous uplinks. Deliberately denser in
+// streams and sparser in per-stream cost than the fleet workload, so
+// placement pressure comes from packing many small claims, the regime where
+// cross-cell conflicts are interesting.
+func shardWorkload(cfg ShardConfig) ([]sched.Stream, []cluster.Server) {
+	rng := stats.NewRNG(cfg.Seed)
+	fps := []int64{30, 15, 10, 6, 5}
+	streams := make([]sched.Stream, cfg.Streams)
+	for i := range streams {
+		p := sched.RatFromFPS(fps[rng.IntN(len(fps))])
+		streams[i] = sched.Stream{
+			Video:  i,
+			Period: p,
+			Proc:   (1.0 / 30) * (0.01 + 0.07*rng.Float64()),
+			Bits:   1e5 * (1 + 9*rng.Float64()),
+		}
+	}
+	servers := make([]cluster.Server, cfg.Servers)
+	for j := range servers {
+		servers[j] = cluster.Server{Uplink: 20e6 * float64(1+rng.IntN(5))}
+	}
+	return streams, servers
+}
+
+// ShardScale runs the sharded control-plane benchmark loop once: each epoch
+// drifts the per-frame costs (the same bounded modulation as the fleet
+// bench, planned with the same worst-case margin) and solves the full
+// placement through shard.Planner at the configured shard count. Every
+// epoch's committed plan is audited by a strict exact-constraint checker —
+// a Const1/Const2 violation on any shared server panics the benchmark.
+func ShardScale(cfg ShardConfig) ShardReport {
+	cfg = cfg.withDefaults()
+	base, servers := shardWorkload(cfg)
+	rep := ShardReport{Streams: cfg.Streams, Servers: cfg.Servers, Epochs: cfg.Epochs, Shards: cfg.Shards}
+
+	chk := check.New(true, nil)
+	pl := shard.New(shard.Options{Shards: cfg.Shards, Check: chk})
+	streams := make([]sched.Stream, len(base))
+	planning := make([]sched.Stream, len(base))
+	var split []sched.Stream
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		fleetDrift(streams, base, epoch)
+		fleetPlanStreams(planning, base, streams)
+		if split == nil {
+			split = sched.SplitHighRate(planning)
+		} else {
+			for k := range split {
+				split[k].Bits = planning[split[k].Video].Bits
+			}
+		}
+		snap := sched.NewSnapshot(uint64(epoch), servers, nil)
+		plan, st, err := pl.Plan(split, snap)
+		if err != nil {
+			panic("exp: shard bench: " + err.Error())
+		}
+		rep.Conflicts += st.Conflicts
+		rep.Retries += st.Retries
+		rep.Commits += st.Commits
+		rep.Rounds += st.Rounds
+		if st.FellBack {
+			rep.Fallbacks++
+		}
+		for b, n := range st.RetryHist {
+			rep.RetryHist[b] += n
+		}
+		rep.CommLatencyS += plan.CommLatency
+	}
+	rep.Violations = chk.Violations()
+	if rep.Violations != 0 {
+		panic(fmt.Sprintf("exp: shard bench: %d strict-mode violations", rep.Violations))
+	}
+	return rep
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardScaleSmall runs the shard benchmark loop at toy size across shard
+// counts: every run must finish without fallbacks or strict-mode violations
+// (ShardScale panics on either), commit one plan per epoch per cell, and be
+// exactly reproducible — the properties the committed BENCH_pr6.json rows
+// depend on.
+func TestShardScaleSmall(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		cfg := ShardConfig{Streams: 96, Servers: 12, Epochs: 3, Shards: shards}
+		rep := ShardScale(cfg)
+		if rep.Violations != 0 {
+			t.Fatalf("shards=%d: %d strict-mode violations", shards, rep.Violations)
+		}
+		if rep.Fallbacks != 0 {
+			t.Fatalf("shards=%d: %d serial fallbacks on a feasible workload", shards, rep.Fallbacks)
+		}
+		if want := shards * cfg.Epochs; rep.Commits != want {
+			t.Fatalf("shards=%d: commits = %d, want %d (one per cell per epoch)", shards, rep.Commits, want)
+		}
+		if rep.CommLatencyS <= 0 {
+			t.Fatalf("shards=%d: empty comm latency %v", shards, rep.CommLatencyS)
+		}
+		if again := ShardScale(cfg); !reflect.DeepEqual(rep, again) {
+			t.Fatalf("shards=%d: shard bench not reproducible:\n%+v\n%+v", shards, rep, again)
+		}
+	}
+}
+
+// TestShardScaleRetryHistAccounts pins the retry histogram's accounting:
+// every commit lands in exactly one retry bucket, so the histogram mass must
+// equal the commit count.
+func TestShardScaleRetryHistAccounts(t *testing.T) {
+	rep := ShardScale(ShardConfig{Streams: 96, Servers: 12, Epochs: 3, Shards: 4})
+	total := 0
+	for _, n := range rep.RetryHist {
+		total += n
+	}
+	if total != rep.Commits {
+		t.Fatalf("retry histogram mass %d != commits %d", total, rep.Commits)
+	}
+}

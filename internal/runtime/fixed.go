@@ -24,6 +24,19 @@ func (f *FixedScheduler) Decide(ctx context.Context, sys *objective.System, epoc
 	return f.DecideMasked(ctx, sys, nil, epoch)
 }
 
+// DecideCell implements CellDecider: every video in the cell gets the
+// fixed configuration, trivially safe for concurrent cells.
+func (f *FixedScheduler) DecideCell(ctx context.Context, sys *objective.System, videos []int, epoch int) ([]videosim.Config, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfgs := make([]videosim.Config, len(videos))
+	for i := range cfgs {
+		cfgs[i] = f.Cfg
+	}
+	return cfgs, nil
+}
+
 // DecideMasked implements MaskAware.
 func (f *FixedScheduler) DecideMasked(ctx context.Context, sys *objective.System, healthy []bool, epoch int) (eva.Decision, error) {
 	if err := ctx.Err(); err != nil {

@@ -141,6 +141,13 @@ type Options struct {
 	// usual. Off by default: incremental plans freeze the configuration
 	// search, trading plan optimality for replan latency.
 	Incremental bool
+	// Shards > 1 routes replans through the sharded control plane when the
+	// scheduler implements CellDecider: videos are partitioned into cells,
+	// each cell decides its configurations concurrently, and placement is
+	// solved by per-cell proposals committed through the shared-state
+	// arbiter (internal/shard). The default 1 keeps the serial decide path
+	// — and therefore every existing golden trace — byte-exact.
+	Shards int
 	// Check, when non-nil, audits the control loop: every installed
 	// decision — scheduler-produced or degraded — is verified against the
 	// exact feasibility constraints under its *planned* processing times
@@ -478,6 +485,13 @@ func (c *Controller) decideOnce(ctx context.Context, sys *objective.System, heal
 	ch := make(chan result, 1)
 	go func() {
 		var r result
+		if opt.Shards > 1 {
+			if cd, ok := c.Sched.(CellDecider); ok {
+				r.d, r.err = c.decideSharded(dctx, cd, sys, healthy, epoch, opt)
+				ch <- r
+				return
+			}
+		}
 		switch {
 		case maskTrivial(healthy):
 			r.d, r.err = c.Sched.Decide(dctx, sys, epoch)

@@ -1,0 +1,88 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/eva"
+	"repro/internal/objective"
+	"repro/internal/sched"
+	"repro/internal/shard"
+	"repro/internal/videosim"
+)
+
+// CellDecider is the optional Scheduler extension the sharded control plane
+// runs on: a scheduler that can choose configurations for one cell's videos
+// in isolation. With Options.Shards > 1 the controller partitions the
+// videos into cells, runs DecideCell for every cell concurrently, and hands
+// the combined workload to the shard planner — per-cell grouping, claim
+// proposals, and the arbiter's optimistic cross-cell commit — instead of
+// the scheduler's own placement. Schedulers without this extension fall
+// back to the serial decide path regardless of Shards.
+type CellDecider interface {
+	Scheduler
+	// DecideCell returns one configuration per entry of videos (the cell's
+	// video indices into sys.Clips, ascending). It must be safe for
+	// concurrent calls with disjoint cells.
+	DecideCell(ctx context.Context, sys *objective.System, videos []int, epoch int) ([]videosim.Config, error)
+}
+
+// decideSharded is the Shards>1 decide path: concurrent per-cell
+// configuration decisions, then one sharded placement solve against an
+// immutable snapshot of the (possibly fault-masked) cluster. The snapshot
+// version is the epoch, so telemetry ties conflicts back to control time.
+func (c *Controller) decideSharded(ctx context.Context, cd CellDecider, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, error) {
+	cells := shard.PartitionVideos(sys.M(), opt.Shards)
+	cfgs := make([]videosim.Config, sys.M())
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for ci := range cells {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			sub, err := cd.DecideCell(ctx, sys, cells[ci], epoch)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			if len(sub) != len(cells[ci]) {
+				errs[ci] = fmt.Errorf("runtime: cell %d returned %d configs for %d videos", ci, len(sub), len(cells[ci]))
+				return
+			}
+			for k, v := range cells[ci] {
+				cfgs[v] = sub[k]
+			}
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return eva.Decision{}, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return eva.Decision{}, err
+	}
+
+	streams := eva.BuildStreams(sys, cfgs)
+	snap := sched.NewSnapshot(uint64(epoch), sys.Servers, healthy)
+	// A fresh planner per invocation: decide attempts that outlive their
+	// deadline are abandoned, not cancelled, so cross-attempt scratch
+	// sharing would race. The steady-state reuse story lives in the bench,
+	// which owns its planner.
+	pl := shard.New(shard.Options{Shards: opt.Shards, Obs: c.Obs, Check: opt.Check})
+	plan, _, err := pl.Plan(streams, snap)
+	if err != nil {
+		return eva.Decision{}, err
+	}
+	specs, _ := plan.ToClusterStreams(streams, sys.Servers)
+	offsets := make([]float64, len(streams))
+	for i := range specs {
+		offsets[i] = specs[i].Offset
+	}
+	return eva.Decision{
+		Configs: cfgs, Streams: streams, Assign: plan.StreamServer,
+		Offsets: offsets, ZeroJit: true,
+	}, nil
+}

@@ -1,0 +1,112 @@
+package runtime
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/fault"
+)
+
+// TestShardedControllerRunsStrict drives the full control loop through the
+// sharded decide path under a strict checker: every installed decision must
+// pass the exact feasibility audit, every stream must be scheduled, and the
+// loop must finish without violations at several shard counts.
+func TestShardedControllerRunsStrict(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		sys := testSys(8, 4)
+		c := controller(sys, zeroJitterScheduler(), 3)
+		c.Opt.Shards = shards
+		c.Opt.Check = check.New(true, nil)
+		trace, err := c.Run(context.Background(), 9)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(trace.Reports) != 9 {
+			t.Fatalf("shards=%d: reports = %d", shards, len(trace.Reports))
+		}
+		for _, r := range trace.Reports {
+			if r.Degraded || r.ReplanFailed {
+				t.Fatalf("shards=%d: epoch %d degraded=%v failed=%v", shards, r.Epoch, r.Degraded, r.ReplanFailed)
+			}
+		}
+		if c.Opt.Check.Violations() != 0 {
+			t.Fatalf("shards=%d: %d strict-mode violations", shards, c.Opt.Check.Violations())
+		}
+	}
+}
+
+// TestShardedDeterministicTrace runs the same sharded configuration twice
+// and expects identical traces — the controller-level face of the planner's
+// determinism guarantee.
+func TestShardedDeterministicTrace(t *testing.T) {
+	run := func() *Trace {
+		sys := testSys(6, 3)
+		c := controller(sys, zeroJitterScheduler(), 2)
+		c.Opt.Shards = 3
+		trace, err := c.Run(context.Background(), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("sharded traces diverge across identical runs")
+	}
+}
+
+// TestShardedDefaultIsSerial pins the Shards=0/1 contract: the sharded path
+// must not engage, so the trace is byte-identical to the default controller
+// — the golden-trace safety property.
+func TestShardedDefaultIsSerial(t *testing.T) {
+	run := func(shards int) *Trace {
+		sys := testSys(5, 3)
+		c := controller(sys, zeroJitterScheduler(), 4)
+		c.Opt.Shards = shards
+		trace, err := c.Run(context.Background(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	base := run(0)
+	if !reflect.DeepEqual(base, run(1)) {
+		t.Fatal("Shards=1 diverged from the default serial path")
+	}
+}
+
+// TestShardedUnderFaults crashes a server mid-run: the sharded decide path
+// must plan around the mask and recover when the server returns.
+func TestShardedUnderFaults(t *testing.T) {
+	sys := testSys(6, 4)
+	c := controller(sys, zeroJitterScheduler(), 2)
+	c.Opt.Shards = 2
+	c.Opt.Check = check.New(true, nil)
+	sc := &fault.Scenario{Name: "kill-1", Events: []fault.Event{
+		{Epoch: 2, Action: fault.ServerDown, Target: 1},
+		{Epoch: 5, Action: fault.ServerUp, Target: 1},
+	}}
+	inj, err := fault.NewInjector(sc, sys.N(), sys.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Faults = inj
+	trace, err := c.Run(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range trace.Reports {
+		if r.Epoch >= 2 && r.Epoch < 5 {
+			if r.HealthyServers != 3 {
+				t.Fatalf("epoch %d: healthy=%d, want 3", r.Epoch, r.HealthyServers)
+			}
+			if r.ServerStreams[1] != 0 {
+				t.Fatalf("epoch %d: down server still has %d streams", r.Epoch, r.ServerStreams[1])
+			}
+		}
+	}
+	if c.Opt.Check.Violations() != 0 {
+		t.Fatalf("%d strict-mode violations under faults", c.Opt.Check.Violations())
+	}
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Snapshot is an immutable, versioned view of the cluster as one planning
+// decision sees it: the server capacities and the liveness mask, fixed at
+// capture time. It is the shared-state currency of the sharded control
+// plane — every per-cell scheduler proposes claims against one snapshot
+// version, the arbiter commits against the live successor state, and a
+// version mismatch is what makes a conflict detectable — but the serial
+// paths consume it too, so `sched`, `runtime`, and the Replanner all plan
+// off the same explicit state instead of loose (servers, healthy) pairs.
+//
+// Construction deep-copies both slices; accessors hand back internal state
+// that callers must treat as read-only. A nil healthy mask means every
+// server is up.
+type Snapshot struct {
+	version uint64
+	servers []cluster.Server
+	healthy []bool
+}
+
+// NewSnapshot captures the cluster state under the given version. The
+// version is owner-assigned and monotone per control loop (the runtime uses
+// the epoch); equality of versions is what optimistic consumers compare.
+func NewSnapshot(version uint64, servers []cluster.Server, healthy []bool) *Snapshot {
+	s := &Snapshot{
+		version: version,
+		servers: append([]cluster.Server(nil), servers...),
+	}
+	if healthy != nil {
+		if len(healthy) != len(servers) {
+			panic(fmt.Sprintf("sched: snapshot mask length %d for %d servers", len(healthy), len(servers)))
+		}
+		s.healthy = append([]bool(nil), healthy...)
+	}
+	return s
+}
+
+// Version returns the snapshot's version stamp.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// NumServers returns the number of physical servers (healthy or not).
+func (s *Snapshot) NumServers() int { return len(s.servers) }
+
+// Servers returns the snapshot's server table. Read-only.
+func (s *Snapshot) Servers() []cluster.Server { return s.servers }
+
+// Server returns server j's capacity record.
+func (s *Snapshot) Server(j int) cluster.Server { return s.servers[j] }
+
+// Healthy returns the liveness mask (nil = all up). Read-only.
+func (s *Snapshot) Healthy() []bool { return s.healthy }
+
+// IsHealthy reports whether server j is up.
+func (s *Snapshot) IsHealthy(j int) bool {
+	return s.healthy == nil || s.healthy[j]
+}
+
+// NumHealthy counts the servers that are up.
+func (s *Snapshot) NumHealthy() int {
+	if s.healthy == nil {
+		return len(s.servers)
+	}
+	n := 0
+	for _, ok := range s.healthy {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// HealthyIndices appends the physical indices of the healthy servers, in
+// ascending order, to dst — the column order every masked solve uses, so
+// Hungarian tie-breaking is identical across the serial and sharded paths.
+func (s *Snapshot) HealthyIndices(dst []int) []int {
+	for j := range s.servers {
+		if s.IsHealthy(j) {
+			dst = append(dst, j)
+		}
+	}
+	return dst
+}
+
+// ScheduleSnapshot runs the complete Algorithm 1 against a snapshot: the
+// serial reference every sharded plan is measured against, and the
+// single-cell path of the sharded planner. Identical to ScheduleMasked on
+// the snapshot's (servers, healthy) pair, byte for byte.
+func ScheduleSnapshot(streams []Stream, snap *Snapshot) (Plan, error) {
+	return ScheduleMasked(streams, snap.servers, snap.healthy)
+}
+
+// ReplanSnapshot is Replan consuming a snapshot instead of a loose
+// (servers, healthy) pair.
+func (r *Replanner) ReplanSnapshot(streams []Stream, snap *Snapshot) (Plan, bool, error) {
+	return r.Replan(streams, snap.servers, snap.healthy)
+}
+
+// IncrementalSnapshot is Incremental consuming a snapshot.
+func (r *Replanner) IncrementalSnapshot(streams []Stream, snap *Snapshot) (Plan, bool) {
+	return r.Incremental(streams, snap.servers, snap.healthy)
+}

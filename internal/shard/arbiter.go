@@ -1,0 +1,263 @@
+package shard
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/sched"
+)
+
+// dyadic is an exact sum of float64 processing times, held as num/2^shift.
+// Every finite float64 is m·2^e with |m| < 2^53, so accumulating over a
+// common power-of-two denominator is lossless — the same discipline as
+// sched.Replanner's Const2 re-check, packaged as a value the arbiter can
+// store per server and per claim.
+type dyadic struct {
+	num   big.Int
+	shift uint
+}
+
+// addFloat accumulates p exactly; it reports false on NaN/±Inf, which the
+// caller must treat as an unverifiable (and therefore rejected) claim.
+func (d *dyadic) addFloat(p float64, tmp *big.Int) bool {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return false
+	}
+	fr, exp := math.Frexp(p) // p = fr·2^exp, |fr| ∈ [0.5, 1) or 0
+	mant := int64(fr * (1 << 53))
+	e := exp - 53 // p = mant·2^e exactly
+	tmp.SetInt64(mant)
+	if e >= 0 {
+		tmp.Lsh(tmp, uint(e)+d.shift)
+	} else if s := uint(-e); s > d.shift {
+		d.num.Lsh(&d.num, s-d.shift)
+		d.shift = s
+	} else if d.shift > s {
+		tmp.Lsh(tmp, d.shift-s)
+	}
+	d.num.Add(&d.num, tmp)
+	return true
+}
+
+// add accumulates another dyadic sum exactly.
+func (d *dyadic) add(o *dyadic, tmp *big.Int) {
+	tmp.Set(&o.num)
+	if o.shift > d.shift {
+		d.num.Lsh(&d.num, o.shift-d.shift)
+		d.shift = o.shift
+	} else if d.shift > o.shift {
+		tmp.Lsh(tmp, d.shift-o.shift)
+	}
+	d.num.Add(&d.num, tmp)
+}
+
+// set copies o into d.
+func (d *dyadic) set(o *dyadic) {
+	d.num.Set(&o.num)
+	d.shift = o.shift
+}
+
+// reset zeroes the sum.
+func (d *dyadic) reset() {
+	d.num.SetInt64(0)
+	d.shift = 0
+}
+
+// withinBudget reports d ≤ num/den exactly, by cross-multiplication:
+// d.num/2^shift ≤ num/den  ⇔  d.num·den ≤ num·2^shift.
+func (d *dyadic) withinBudget(budget sched.Rational, sc *fitScratch) bool {
+	if budget.Num == 0 {
+		// Empty-budget server: only an empty sum fits.
+		return d.num.Sign() <= 0
+	}
+	sc.den.SetInt64(budget.Den)
+	sc.lhs.Mul(&d.num, &sc.den)
+	sc.rhs.SetInt64(budget.Num)
+	sc.rhs.Lsh(&sc.rhs, d.shift)
+	return sc.lhs.Cmp(&sc.rhs) <= 0
+}
+
+// fitScratch holds the big.Int workspace one goroutine's exact admission
+// checks run in. The arbiter owns one for its serial commit path; every
+// propose goroutine owns its own, so the read-only propose phase touches no
+// shared mutable state.
+type fitScratch struct {
+	tmp, lhs, rhs, den big.Int
+	trial              dyadic
+}
+
+// Claim is one group→server claim of a cell's proposal: place the streams
+// in Members (global indices) on Server. GCD and Sum summarize the group
+// for the exact admission check; Bits is the group's total frame size, so
+// the committed plan's communication latency is an exact running sum.
+type Claim struct {
+	Server  int
+	Members []int
+	GCD     sched.Rational // exact gcd of member periods
+	Sum     dyadic         // exact Σ proc over members
+	Bits    float64
+}
+
+// Proposal is a cell's complete claim set, planned against one snapshot
+// version. Claims target distinct servers (each cell's assignment problem
+// gives every group its own column).
+type Proposal struct {
+	Cell    int
+	Version uint64 // arbiter version the cell planned against
+	Claims  []Claim
+}
+
+// serverState is the committed occupancy of one server: the exact gcd of
+// every committed stream's period, the exact Σ proc, and the committed
+// member streams in commit order (the order Theorem 1 offsets are laid out
+// in). A server holding groups from multiple cells stays zero-jitter
+// because commits preserve Σ proc ≤ gcd over the union — see the package
+// comment in planner.go for the argument.
+type serverState struct {
+	gcd     sched.Rational
+	sum     dyadic
+	members []int
+	claims  int
+}
+
+// Arbiter is the shared cluster state of one sharded solve. It is NOT
+// goroutine-safe by design: proposals are computed in parallel against a
+// round-start state that nobody mutates, and commits run serially in
+// cell-index order — the serialization IS the determinism argument, so a
+// mutex would only hide a protocol bug. Reuse across solves via Reset.
+type Arbiter struct {
+	version uint64
+	states  []serverState
+	uplinks []float64
+	commits int
+	comm    float64 // Σ bits/uplink over committed claims
+
+	sc fitScratch // scratch for the serial commit path only
+}
+
+// NewArbiter returns an arbiter over n servers at the snapshot's version.
+func NewArbiter(n int, version uint64) *Arbiter {
+	a := &Arbiter{}
+	a.Reset(n, version)
+	return a
+}
+
+// Reset clears all commitments and re-bases the arbiter on a fresh
+// snapshot version, reusing the per-server state slices.
+func (a *Arbiter) Reset(n int, version uint64) {
+	if cap(a.states) < n {
+		a.states = make([]serverState, n)
+	}
+	a.states = a.states[:n]
+	for j := range a.states {
+		a.states[j].gcd = sched.Rational{}
+		a.states[j].sum.reset()
+		a.states[j].members = a.states[j].members[:0]
+		a.states[j].claims = 0
+	}
+	a.version = version
+	a.commits = 0
+	a.comm = 0
+}
+
+// Version returns the live state version: the snapshot version plus one
+// per committed proposal. A proposer holding an older version may still
+// commit — optimistically — as long as its claims re-validate exactly.
+func (a *Arbiter) Version() uint64 { return a.version }
+
+// Commits returns the number of committed proposals.
+func (a *Arbiter) Commits() int { return a.commits }
+
+// CommLatency returns the total transmission latency of the committed
+// claims (Σ group bits / server uplink).
+func (a *Arbiter) CommLatency() float64 { return a.comm }
+
+// Fits reports whether adding a group with the given period gcd and exact
+// proc sum to server j keeps the union within Const2: Σ proc over every
+// stream on j, claimed and committed, at most the gcd of all their periods.
+// Since that gcd divides every member period, Const2 implies Const1
+// (Σ pᵢ/Tᵢ ≤ Σ pᵢ/gcd ≤ 1), so one exact check settles both. Proposers
+// call it read-only during the propose phase; Commit re-runs it against
+// the live state, which is what makes the concurrency optimistic.
+func (a *Arbiter) Fits(j int, gcd sched.Rational, sum *dyadic) bool {
+	return a.fits(j, gcd, sum, &a.sc)
+}
+
+// fits is Fits against caller-owned scratch — the form propose goroutines
+// use so the concurrent propose phase stays free of shared mutable state.
+func (a *Arbiter) fits(j int, gcd sched.Rational, sum *dyadic, sc *fitScratch) bool {
+	st := &a.states[j]
+	union := sched.RatGCD(st.gcd, gcd)
+	sc.trial.set(&st.sum)
+	sc.trial.add(sum, &sc.tmp)
+	return sc.trial.withinBudget(union, sc)
+}
+
+// Commit validates every claim of the proposal against the LIVE state and,
+// if all pass, applies them atomically and bumps the version. On any
+// failure nothing is applied and the first conflicting server index is
+// returned — the cell retries against a fresh snapshot. Claims sharing a
+// server within one proposal are a protocol violation and rejected.
+func (a *Arbiter) Commit(p *Proposal) (ok bool, conflict int) {
+	for i := range p.Claims {
+		c := &p.Claims[i]
+		if c.Server < 0 || c.Server >= len(a.states) {
+			return false, c.Server
+		}
+		for k := 0; k < i; k++ {
+			if p.Claims[k].Server == c.Server {
+				return false, c.Server
+			}
+		}
+		if !a.Fits(c.Server, c.GCD, &c.Sum) {
+			return false, c.Server
+		}
+	}
+	for i := range p.Claims {
+		c := &p.Claims[i]
+		st := &a.states[c.Server]
+		st.gcd = sched.RatGCD(st.gcd, c.GCD)
+		st.sum.add(&c.Sum, &a.sc.tmp)
+		st.members = append(st.members, c.Members...)
+		st.claims++
+		a.comm += c.Bits / a.uplink(c.Server)
+	}
+	a.version++
+	a.commits++
+	return true, -1
+}
+
+// uplinks are threaded in at Reset time by the planner; stored separately
+// so Reset can keep the slice without re-copying server records.
+func (a *Arbiter) uplink(j int) float64 { return a.uplinks[j] }
+
+// SetUplinks installs the per-server uplink capacities used for the
+// committed communication-latency accounting. Must be called after Reset
+// and before the first Commit.
+func (a *Arbiter) SetUplinks(uplinks []float64) { a.uplinks = uplinks }
+
+// Plan assembles the committed state into a sched.Plan over nStreams
+// streams: one merged group per occupied server in ascending server order
+// (the deterministic merge order), members within a group in commit order.
+// Unclaimed streams keep StreamServer −1; a complete solve leaves none.
+func (a *Arbiter) Plan(nStreams int) sched.Plan {
+	plan := sched.Plan{
+		StreamServer: make([]int, nStreams),
+		CommLatency:  a.comm,
+	}
+	for i := range plan.StreamServer {
+		plan.StreamServer[i] = -1
+	}
+	for j := range a.states {
+		st := &a.states[j]
+		if len(st.members) == 0 {
+			continue
+		}
+		plan.Groups = append(plan.Groups, append([]int(nil), st.members...))
+		plan.GroupServer = append(plan.GroupServer, j)
+		for _, si := range st.members {
+			plan.StreamServer[si] = j
+		}
+	}
+	return plan
+}

@@ -1,0 +1,36 @@
+// Sharded control-plane benchmark: the exp.ShardScale workload (4096
+// streams × 256 servers by default, shrunk here to keep `-benchtime 1x`
+// smoke runs fast) solved at increasing shard counts. BENCH_pr6.json
+// records the full-size numbers; reproduce them with
+// `go run ./cmd/pamo-bench -shard` or
+// `go test -run '^$' -bench ShardScale/full -benchtime 3x -benchmem .`.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func BenchmarkShardScale(b *testing.B) {
+	for _, size := range []struct {
+		name             string
+		streams, servers int
+	}{{"smoke_512x64", 512, 64}, {"full_4096x256", 4096, 256}} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", size.name, shards), func(b *testing.B) {
+				if size.streams > 512 && testing.Short() {
+					b.Skip("full-size shard bench skipped in -short mode")
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					exp.ShardScale(exp.ShardConfig{
+						Streams: size.streams, Servers: size.servers,
+						Epochs: 2, Shards: shards,
+					})
+				}
+			})
+		}
+	}
+}
