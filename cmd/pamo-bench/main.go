@@ -244,7 +244,7 @@ func main() {
 
 	if rec != nil {
 		if *jsonOut != "" {
-			writeReport(*jsonOut, *fig, *seed, *fast, total, figTimes, rec.SpanSummary())
+			writeReport(*jsonOut, *fig, *seed, *fast, total, figTimes, rec)
 		}
 		if err := rec.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "events: %v\n", err)
@@ -433,10 +433,23 @@ type phaseEntry struct {
 	MeanS   float64 `json:"mean_s"`
 	MinS    float64 `json:"min_s"`
 	MaxS    float64 `json:"max_s"`
+	P50S    float64 `json:"p50_s"`
+	P95S    float64 `json:"p95_s"`
+	P99S    float64 `json:"p99_s"`
 	PctWall float64 `json:"pct_wall"`
 }
 
-func writeReport(path, fig string, seed uint64, fast bool, total time.Duration, figTimes any, spans []obs.SpanStat) {
+func writeReport(path, fig string, seed uint64, fast bool, total time.Duration, figTimes any, rec *obs.Recorder) {
+	spans := rec.SpanSummary()
+	// Quantiles come from the recorder's per-span duration histograms;
+	// an empty histogram yields NaN, which JSON cannot carry — report 0.
+	quant := func(name string, q float64) float64 {
+		v := rec.SpanHistogram(name).Quantile(q)
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
 	phases := make([]phaseEntry, 0, len(spans))
 	for _, st := range spans {
 		pct := 0.0
@@ -445,7 +458,9 @@ func writeReport(path, fig string, seed uint64, fast bool, total time.Duration, 
 		}
 		phases = append(phases, phaseEntry{
 			Span: st.Name, Count: st.Count, TotalS: st.Total,
-			MeanS: st.Mean(), MinS: st.Min, MaxS: st.Max, PctWall: pct,
+			MeanS: st.Mean(), MinS: st.Min, MaxS: st.Max,
+			P50S: quant(st.Name, 0.50), P95S: quant(st.Name, 0.95), P99S: quant(st.Name, 0.99),
+			PctWall: pct,
 		})
 	}
 	report := map[string]any{

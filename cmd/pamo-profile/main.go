@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,8 +56,12 @@ func main() {
 	w := os.Stdout
 	fmt.Fprintln(w, "clip,resolution,fps,map,latency_s,bandwidth_bps,compute_tflops,power_w")
 	prof := videosim.NewProfiler(0.02, stats.NewRNG(*seed+1))
+	// One root span ties the per-clip spans into a single trace in the
+	// JSONL (and any downstream Perfetto export of it).
+	rctx, root := rec.StartSpanCtx(context.Background(), "profile",
+		obs.F("clips", float64(*clips)))
 	for _, clip := range videosim.StandardClips(*clips, *seed) {
-		sp := rec.StartSpan("profile.clip", obs.F("noisy", b2f(*noisy)))
+		_, sp := rec.StartSpanCtx(rctx, "profile.clip", obs.F("noisy", b2f(*noisy)))
 		rows := 0
 		for _, r := range videosim.Resolutions {
 			for _, s := range videosim.FrameRates {
@@ -83,6 +88,7 @@ func main() {
 		sp.Field("rows", float64(rows))
 		sp.End()
 	}
+	root.End()
 }
 
 func b2f(b bool) float64 {

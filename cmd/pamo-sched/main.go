@@ -15,10 +15,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -78,16 +80,19 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	weights := flag.String("weights", "1,1,1,1,1", "true preference weights: latency,accuracy,network,compute,energy")
 	events := flag.String("events", "", "stream telemetry of the run as JSONL to this file")
+	perfetto := flag.String("perfetto", "", "write the run's span tree as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address while running")
 	faults := flag.String("faults", "", "fault scenario JSON: drive the online controller under injected failures")
 	epochs := flag.Int("epochs", 12, "epochs to run with -faults")
 	replanEvery := flag.Int("replan-every", 5, "replan period in epochs with -faults")
+	shards := flag.Int("shards", 1, "cells for the sharded decide path with -faults (>1 needs a per-cell scheduler: fixed)")
 	decideTimeout := flag.Duration("decide-timeout", 0, "per-attempt scheduler deadline with -faults (0 = unbounded)")
 	strict := flag.Bool("strict", false, "run the exact invariant checker in strict mode: any feasibility, GP-guard, or zero-jitter violation aborts with a non-zero exit")
 	flag.Parse()
 
 	var rec *obs.Recorder
-	if *events != "" || *metricsAddr != "" {
+	if *events != "" || *metricsAddr != "" || *perfetto != "" {
+		var sink io.Writer
 		if *events != "" {
 			f, err := os.Create(*events)
 			if err != nil {
@@ -95,10 +100,43 @@ func main() {
 				os.Exit(1)
 			}
 			defer f.Close()
-			rec = obs.NewRecorder(f)
-		} else {
-			rec = obs.NewRecorder(nil)
+			sink = f
 		}
+		// The Perfetto exporter replays the full event stream once the run
+		// is over; a side buffer keeps it available whether or not the JSONL
+		// also goes to disk.
+		var buf *bytes.Buffer
+		if *perfetto != "" {
+			buf = &bytes.Buffer{}
+			if sink != nil {
+				sink = io.MultiWriter(sink, buf)
+			} else {
+				sink = buf
+			}
+		}
+		rec = obs.NewRecorder(sink)
+		// Registered before rec.Close so it runs after it: the export needs
+		// the flushed, complete stream.
+		defer func() {
+			if buf == nil {
+				return
+			}
+			evs, err := obs.ReadEvents(buf)
+			if err == nil {
+				var pf *os.File
+				if pf, err = os.Create(*perfetto); err == nil {
+					err = obs.WritePerfetto(pf, evs)
+					if cerr := pf.Close(); err == nil {
+						err = cerr
+					}
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "perfetto: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "perfetto trace: %s (%d events)\n", *perfetto, len(evs))
+		}()
 		defer rec.Close()
 		if *metricsAddr != "" {
 			addr, err := rec.Registry().Serve(*metricsAddr)
@@ -135,7 +173,7 @@ func main() {
 	norm := objective.NewNormalizer(sys)
 
 	if *faults != "" {
-		runFaulted(sys, truth, rec, chk, *method, *faults, *epochs, *replanEvery, *decideTimeout, *seed, *videos, *servers)
+		runFaulted(sys, truth, rec, chk, *method, *faults, *epochs, *replanEvery, *shards, *decideTimeout, *seed, *videos, *servers)
 		return
 	}
 
@@ -233,7 +271,7 @@ func schedulerFor(method string, truth objective.Preference, rec *obs.Recorder, 
 }
 
 func runFaulted(sys *objective.System, truth objective.Preference, rec *obs.Recorder, chk *check.Checker,
-	method, scenarioPath string, epochs, replanEvery int, decideTimeout time.Duration,
+	method, scenarioPath string, epochs, replanEvery, shards int, decideTimeout time.Duration,
 	seed uint64, videos, servers int) {
 	sc, err := fault.LoadFile(scenarioPath)
 	if err != nil {
@@ -255,7 +293,7 @@ func runFaulted(sys *objective.System, truth objective.Preference, rec *obs.Reco
 		Sched:  sched,
 		Truth:  truth,
 		Norm:   objective.NewNormalizer(sys),
-		Opt:    runtime.Options{ReplanEvery: replanEvery, DecideTimeout: decideTimeout, Check: chk},
+		Opt:    runtime.Options{ReplanEvery: replanEvery, DecideTimeout: decideTimeout, Shards: shards, Check: chk},
 		Faults: inj,
 		Obs:    rec,
 	}

@@ -5,13 +5,17 @@
 //	pamo-trace -run -i trace.json        # run PaMO off the recorded trace
 //	pamo-trace -run -i trace.json -events run.jsonl
 //	pamo-trace -run -i trace.json -faults scenario.json -epochs 10 -fast
+//	pamo-trace -run -i trace.json -faults scenario.json -perfetto run.trace.json
 //	pamo-trace -events-summary -events run.jsonl
 //
 // With -events, the -run mode streams every telemetry span and event of
 // the PaMO run (phase timings, per-iteration acquisition scores, MVN
 // fallbacks) as JSON Lines; -events-summary aggregates such a file into a
-// per-phase latency table. -metrics-addr serves the live metric registry
-// in Prometheus text format while the run executes.
+// per-phase latency table. -perfetto exports the run's span tree as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing, and a fault
+// run additionally prints the per-epoch benefit-attribution ledger.
+// -metrics-addr serves the live metric registry in Prometheus text format
+// while the run executes.
 //
 // With -faults, -run drives the online controller for -epochs epochs under
 // the scripted fault scenario instead of a single offline optimization,
@@ -19,9 +23,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/check"
@@ -54,6 +60,7 @@ func main() {
 	in := flag.String("i", "trace.json", "input trace path")
 	out := flag.String("o", "trace.json", "output trace path")
 	events := flag.String("events", "", "JSONL telemetry path: written by -run, read by -events-summary")
+	perfetto := flag.String("perfetto", "", "write the -run's span tree as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address during -run")
 	strict := flag.Bool("strict", false, "run the exact invariant checker in strict mode during -run: any feasibility or GP-guard violation aborts with a non-zero exit")
 	flag.Parse()
@@ -95,7 +102,7 @@ func main() {
 	case *runPamo:
 		tr := load(*in)
 		sys := tr.System()
-		rec, closeRec := newRecorder(*events, *metricsAddr)
+		rec, closeRec := newRecorder(*events, *metricsAddr, *perfetto)
 		defer closeRec()
 		var chk *check.Checker
 		if *strict || rec != nil {
@@ -121,6 +128,10 @@ func main() {
 			if rec != nil {
 				fmt.Println("\nphase breakdown:")
 				obs.WriteSpanTable(os.Stdout, rec.SpanSummary())
+				if leds := rec.Ledgers(); len(leds) > 0 {
+					fmt.Println("\nbenefit attribution:")
+					obs.WriteLedgerTable(os.Stdout, leds)
+				}
 			}
 			return
 		}
@@ -191,11 +202,12 @@ func runFaulted(sys *objective.System, truth objective.Preference, dm pref.Decis
 }
 
 // newRecorder builds the telemetry recorder shared by the run modes: a
-// JSONL sink when eventsPath is set, plus an optional live /metrics
-// endpoint. The returned closer flushes the sink; it is safe to call when
-// rec is nil.
-func newRecorder(eventsPath, metricsAddr string) (*obs.Recorder, func()) {
-	if eventsPath == "" && metricsAddr == "" {
+// JSONL sink when eventsPath is set, an optional live /metrics endpoint,
+// and — when perfettoPath is set — a Chrome trace-event JSON export of the
+// run's span tree, written by the returned closer after the recorder
+// flushes. The closer is safe to call when rec is nil.
+func newRecorder(eventsPath, metricsAddr, perfettoPath string) (*obs.Recorder, func()) {
+	if eventsPath == "" && metricsAddr == "" && perfettoPath == "" {
 		return nil, func() {}
 	}
 	var f *os.File
@@ -204,12 +216,21 @@ func newRecorder(eventsPath, metricsAddr string) (*obs.Recorder, func()) {
 		f, err = os.Create(eventsPath)
 		fatalIf(err)
 	}
-	var rec *obs.Recorder
-	if f != nil {
-		rec = obs.NewRecorder(f)
-	} else {
-		rec = obs.NewRecorder(nil)
+	// The Perfetto exporter needs the full event stream after the run; a
+	// side buffer keeps it available whether or not JSONL goes to disk.
+	var buf *bytes.Buffer
+	var sink io.Writer
+	switch {
+	case f != nil && perfettoPath != "":
+		buf = &bytes.Buffer{}
+		sink = io.MultiWriter(f, buf)
+	case f != nil:
+		sink = f
+	case perfettoPath != "":
+		buf = &bytes.Buffer{}
+		sink = buf
 	}
+	rec := obs.NewRecorder(sink)
 	if metricsAddr != "" {
 		addr, err := rec.Registry().Serve(metricsAddr)
 		fatalIf(err)
@@ -219,6 +240,15 @@ func newRecorder(eventsPath, metricsAddr string) (*obs.Recorder, func()) {
 		fatalIf(rec.Close())
 		if f != nil {
 			fatalIf(f.Close())
+		}
+		if buf != nil {
+			evs, err := obs.ReadEvents(buf)
+			fatalIf(err)
+			pf, err := os.Create(perfettoPath)
+			fatalIf(err)
+			fatalIf(obs.WritePerfetto(pf, evs))
+			fatalIf(pf.Close())
+			fmt.Fprintf(os.Stderr, "perfetto trace: %s (%d events)\n", perfettoPath, len(evs))
 		}
 	}
 }

@@ -108,14 +108,14 @@ func TestGoldenPaMOTrace(t *testing.T) {
 
 // goldenEpoch is the serialized form of one controller epoch.
 type goldenEpoch struct {
-	Epoch     int     `json:"epoch"`
-	Benefit   string  `json:"benefit"`
-	MaxJitter string  `json:"max_jitter_s"`
-	Replanned bool    `json:"replanned"`
-	Degraded  bool    `json:"degraded"`
-	Healthy   int     `json:"healthy_servers"`
-	Shed      []int   `json:"shed"`
-	Streams   []int   `json:"server_streams"`
+	Epoch     int    `json:"epoch"`
+	Benefit   string `json:"benefit"`
+	MaxJitter string `json:"max_jitter_s"`
+	Replanned bool   `json:"replanned"`
+	Degraded  bool   `json:"degraded"`
+	Healthy   int    `json:"healthy_servers"`
+	Shed      []int  `json:"shed"`
+	Streams   []int  `json:"server_streams"`
 }
 
 // TestGoldenFaultRun pins a fault-injected controller run byte-exactly:
@@ -177,4 +177,104 @@ func TestGoldenFaultRun(t *testing.T) {
 		})
 	}
 	goldenCompare(t, "fault_run.json", gold)
+}
+
+// goldenLedger is the serialized form of one epoch's benefit-attribution
+// ledger. Loss buckets are pinned as %.17g strings so the fixture captures
+// every bit: Close() guarantees shed+drift+fault+conflict+fallback equals
+// planned−realized exactly, and this test re-verifies that equality on the
+// live floats before serializing.
+type goldenLedger struct {
+	Epoch      int    `json:"epoch"`
+	Planned    string `json:"planned"`
+	Realized   string `json:"realized"`
+	ShedLoss   string `json:"shed_loss"`
+	DriftLoss  string `json:"drift_loss"`
+	FaultLoss  string `json:"fault_loss"`
+	Retries    int    `json:"conflict_retries"`
+	FellBack   bool   `json:"fell_back"`
+	Degraded   bool   `json:"degraded"`
+	Shed       []int  `json:"shed_videos"`
+	Downgraded []int  `json:"downgraded_videos"`
+	Down       []int  `json:"servers_down"`
+}
+
+// TestGoldenLedger pins the benefit-attribution ledger of a fault-injected
+// run byte-exactly and enforces the ledger's core invariant on every epoch:
+// Σ(loss buckets) == planned − realized with exact float equality (the
+// acceptance bar for the attribution plane — no epsilon). The run mirrors
+// TestGoldenFaultRun's crash/recovery schedule so the two fixtures describe
+// the same trajectory from two angles: what happened vs why benefit was lost.
+func TestGoldenLedger(t *testing.T) {
+	clips := make([]*videosim.Clip, 6)
+	for i := range clips {
+		clips[i] = &videosim.Clip{
+			Name: fmt.Sprintf("cam%d", i), AccBase: 0.9,
+			AccFactor: 1, ComputeFac: 1, BitFac: 1, EnergyFac: 1,
+		}
+	}
+	servers := make([]cluster.Server, 3)
+	for j := range servers {
+		servers[j] = cluster.Server{Uplink: float64(10+5*j) * 1e6}
+	}
+	sys := &objective.System{Clips: clips, Servers: servers}
+	sc := &fault.Scenario{Name: "golden-crash", Events: []fault.Event{
+		{Epoch: 2, Action: fault.ServerDown, Target: 0},
+		{Epoch: 4, Action: fault.ServerDown, Target: 2},
+		{Epoch: 7, Action: fault.ServerUp, Target: 0},
+	}}
+	inj, err := fault.NewInjector(sc, sys.N(), sys.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(nil)
+	c := &runtime.Controller{
+		Sys:    sys,
+		Sched:  &runtime.FixedScheduler{Cfg: videosim.Config{Resolution: 1000, FPS: 10}},
+		Truth:  objective.UniformPreference(),
+		Norm:   objective.NewNormalizer(sys),
+		Opt:    runtime.Options{ReplanEvery: 100, Check: check.New(true, rec)},
+		Faults: inj,
+		Obs:    rec,
+	}
+	const epochs = 10
+	if _, err := c.Run(context.Background(), epochs); err != nil {
+		t.Fatal(err)
+	}
+	ledgers := rec.Ledgers()
+	if len(ledgers) != epochs {
+		t.Fatalf("got %d ledgers, want %d", len(ledgers), epochs)
+	}
+	var gold []goldenLedger
+	for i := range ledgers {
+		l := &ledgers[i]
+		if !l.CheckExact() {
+			t.Fatalf("epoch %d ledger inexact: Σbuckets=%.17g gap=%.17g",
+				l.Epoch, l.SumBuckets(), l.Gap())
+		}
+		if l.ConflictLoss != 0 || l.FallbackLoss != 0 {
+			t.Fatalf("epoch %d: protocol buckets must be exactly 0, got %+v", l.Epoch, l)
+		}
+		empty := func(s []int) []int {
+			if s == nil {
+				return []int{}
+			}
+			return s
+		}
+		gold = append(gold, goldenLedger{
+			Epoch:      l.Epoch,
+			Planned:    fmt.Sprintf("%.17g", l.Planned),
+			Realized:   fmt.Sprintf("%.17g", l.Realized),
+			ShedLoss:   fmt.Sprintf("%.17g", l.ShedLoss),
+			DriftLoss:  fmt.Sprintf("%.17g", l.DriftLoss),
+			FaultLoss:  fmt.Sprintf("%.17g", l.FaultLoss),
+			Retries:    l.ConflictRetries,
+			FellBack:   l.FellBack,
+			Degraded:   l.Degraded,
+			Shed:       empty(l.ShedVideos),
+			Downgraded: empty(l.DowngradedVideos),
+			Down:       empty(l.ServersDown),
+		})
+	}
+	goldenCompare(t, "ledger_run.json", gold)
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -152,20 +153,14 @@ func (a *Arena) summarizeInto(frames []FrameRecord, streams []StreamSpec, horizo
 // SimulateServerRecorded is SimulateServerRecorded running through the
 // arena: identical simulation and telemetry, reused buffers.
 func (a *Arena) SimulateServerRecorded(streams []StreamSpec, srv Server, horizon float64, rec *obs.Recorder, server int) Result {
+	return a.SimulateServerRecordedCtx(context.Background(), streams, srv, horizon, rec, server)
+}
+
+// SimulateServerRecordedCtx is SimulateServerRecorded with trace-context
+// propagation, mirroring the package-level SimulateServerRecordedCtx.
+func (a *Arena) SimulateServerRecordedCtx(ctx context.Context, streams []StreamSpec, srv Server, horizon float64, rec *obs.Recorder, server int) Result {
 	res := a.SimulateServer(streams, srv, horizon)
-	if rec == nil {
-		return res
-	}
-	reg := rec.Registry()
-	reg.Histogram("cluster_server_utilization", obs.UnitBuckets).Observe(res.Utilization)
-	reg.Histogram("cluster_server_jitter_seconds", obs.DefBuckets).Observe(res.MaxJitter)
-	rec.Event("cluster.server",
-		obs.F("server", float64(server)),
-		obs.F("streams", float64(len(streams))),
-		obs.F("frames", float64(len(res.Frames))),
-		obs.F("utilization", res.Utilization),
-		obs.F("max_jitter", res.MaxJitter),
-		obs.F("max_wait", res.MaxWait))
+	recordServerResult(ctx, rec, server, len(streams), res)
 	return res
 }
 

@@ -1,6 +1,10 @@
 package cluster
 
-import "repro/internal/obs"
+import (
+	"context"
+
+	"repro/internal/obs"
+)
 
 // SimulateServerRecorded is SimulateServer with telemetry: after the
 // simulation it emits one "cluster.server" event (server index,
@@ -9,19 +13,33 @@ import "repro/internal/obs"
 // of rec's registry. A nil rec makes it exactly SimulateServer. Safe to
 // call from concurrent per-server goroutines.
 func SimulateServerRecorded(streams []StreamSpec, srv Server, horizon float64, rec *obs.Recorder, server int) Result {
+	return SimulateServerRecordedCtx(context.Background(), streams, srv, horizon, rec, server)
+}
+
+// SimulateServerRecordedCtx is SimulateServerRecorded with trace-context
+// propagation: the "cluster.server" event is attributed to the span
+// carried by ctx (normally the per-server DES span), so trace exporters
+// can place it on the right lane.
+func SimulateServerRecordedCtx(ctx context.Context, streams []StreamSpec, srv Server, horizon float64, rec *obs.Recorder, server int) Result {
 	res := SimulateServer(streams, srv, horizon)
+	recordServerResult(ctx, rec, server, len(streams), res)
+	return res
+}
+
+// recordServerResult emits the per-server DES telemetry shared by the
+// package-level and Arena simulation entry points. Nil rec: no-op.
+func recordServerResult(ctx context.Context, rec *obs.Recorder, server, nStreams int, res Result) {
 	if rec == nil {
-		return res
+		return
 	}
 	reg := rec.Registry()
 	reg.Histogram("cluster_server_utilization", obs.UnitBuckets).Observe(res.Utilization)
 	reg.Histogram("cluster_server_jitter_seconds", obs.DefBuckets).Observe(res.MaxJitter)
-	rec.Event("cluster.server",
+	rec.EventCtx(ctx, "cluster.server",
 		obs.F("server", float64(server)),
-		obs.F("streams", float64(len(streams))),
+		obs.F("streams", float64(nStreams)),
 		obs.F("frames", float64(len(res.Frames))),
 		obs.F("utilization", res.Utilization),
 		obs.F("max_jitter", res.MaxJitter),
 		obs.F("max_wait", res.MaxWait))
-	return res
 }

@@ -87,6 +87,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum, n, h.Count); err != nil {
 			return err
 		}
+		// Derived quantile gauges: scrapers without recording rules still
+		// see tail latency. Skipped while the histogram is empty (the
+		// quantile is NaN, which the exposition format cannot carry).
+		for _, pq := range [...]struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+			v := h.Quantile(pq.q)
+			if math.IsNaN(v) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %g\n", n, pq.suffix, n, pq.suffix, v); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -36,6 +36,12 @@ span_seconds_bucket{le="1"} 3
 span_seconds_bucket{le="+Inf"} 4
 span_seconds_sum 2.6
 span_seconds_count 4
+# TYPE span_seconds_p50 gauge
+span_seconds_p50 0.1
+# TYPE span_seconds_p95 gauge
+span_seconds_p95 1
+# TYPE span_seconds_p99 gauge
+span_seconds_p99 1
 `
 	if b.String() != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)

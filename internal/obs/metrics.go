@@ -147,6 +147,50 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket that holds the
+// target rank — Prometheus histogram_quantile semantics: the first
+// bucket's lower edge is 0, and a rank landing in the +Inf bucket reports
+// the largest finite bound (the histogram cannot resolve further). Returns
+// NaN for an empty histogram or a q outside [0, 1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, cnt := range s.Counts {
+		if cnt == 0 {
+			cum += cnt
+			continue
+		}
+		prev := cum
+		cum += cnt
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: report the largest finite bound, if any.
+			if len(s.Bounds) == 0 {
+				return math.NaN()
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		frac := (rank - float64(prev)) / float64(cnt)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	// Unreachable when Count is consistent with Counts; be safe under skew.
+	return math.NaN()
+}
+
 // Registry holds named metrics. Lookup methods get-or-create and are safe
 // for concurrent use; hot paths should look a handle up once and keep it,
 // since each lookup takes the registry lock. All methods are no-ops (and

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto / chrome://tracing export
+//
+// WritePerfetto converts a parsed JSONL event stream into the Chrome
+// trace-event JSON format (the {"traceEvents": [...]} flavour), loadable
+// in Perfetto's UI or chrome://tracing. Spans become complete ("X") events
+// with microsecond timestamps; point events and ledgers become instant
+// ("i") events.
+//
+// The trace-event format has no explicit parent links — nesting is implied
+// by time containment on one (pid, tid) lane. The exporter therefore
+// replays the recorded parent IDs into a lane assignment: a span is placed
+// on its parent's lane whenever the parent is still open there and fully
+// contains it, so sequential children stack under their parent exactly as
+// recorded; concurrent siblings (parallel cells, per-server DES runs)
+// spill onto fresh lanes, which is also the honest rendering — they really
+// did run concurrently. The assignment is deterministic: spans are
+// processed in (start, span-ID) order and lanes probed in a fixed order.
+
+const perfettoPid = 1
+
+// laneEps absorbs the float rounding between a parent's recorded end
+// (t + dur, both rounded separately) and its children's: a child may
+// appear to outlive its parent by a few ns even though End() ordering
+// guarantees it did not.
+const laneEps = 1e-9
+
+type perfettoSpan struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Args Fields  `json:"args,omitempty"`
+}
+
+type perfettoInstant struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s"`
+	Args Fields  `json:"args,omitempty"`
+}
+
+type perfettoMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// laneState is one (pid, tid) timeline: the stack of spans currently open
+// on it, innermost last.
+type laneState struct {
+	stack []int // indices into the span slice
+}
+
+// WritePerfetto writes the event stream as Chrome trace-event JSON.
+func WritePerfetto(w io.Writer, events []Event) error {
+	type spanRec struct {
+		ev         *Event
+		start, end float64
+		lane       int
+	}
+	var spans []spanRec
+	byID := map[uint64]int{} // span ID -> index into spans
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != "span" {
+			continue
+		}
+		spans = append(spans, spanRec{ev: ev, start: ev.T, end: ev.T + ev.DurSec, lane: -1})
+	}
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := &spans[order[a]], &spans[order[b]]
+		if sa.start != sb.start {
+			return sa.start < sb.start
+		}
+		return sa.ev.Span < sb.ev.Span
+	})
+	for _, i := range order {
+		if id := spans[i].ev.Span; id != 0 {
+			byID[id] = i
+		}
+	}
+
+	isAncestor := func(anc, of int) bool {
+		// Walk `of`'s parent chain; IDs strictly decrease toward the root,
+		// so the walk terminates even on a corrupt stream.
+		target := spans[anc].ev.Span
+		if target == 0 {
+			return false
+		}
+		cur := spans[of].ev.Parent
+		for cur != 0 {
+			if cur == target {
+				return true
+			}
+			pi, ok := byID[cur]
+			if !ok {
+				return false
+			}
+			next := spans[pi].ev.Parent
+			if next >= cur {
+				return false
+			}
+			cur = next
+		}
+		return false
+	}
+
+	var lanes []laneState
+	place := func(i int) {
+		s := &spans[i]
+		// Expire closed spans from every lane top.
+		for li := range lanes {
+			st := lanes[li].stack
+			for len(st) > 0 && spans[st[len(st)-1]].end <= s.start+laneEps {
+				st = st[:len(st)-1]
+			}
+			lanes[li].stack = st
+		}
+		fits := func(li int) bool {
+			st := lanes[li].stack
+			if len(st) == 0 {
+				return true
+			}
+			top := st[len(st)-1]
+			return isAncestor(top, i) && spans[top].end+laneEps >= s.end
+		}
+		// Prefer the parent's lane (keeps each causal chain visually
+		// stacked), then any existing lane, then a fresh one.
+		tried := -1
+		if pi, ok := byID[s.ev.Parent]; ok && spans[pi].lane >= 0 {
+			if li := spans[pi].lane; fits(li) {
+				tried = li
+			}
+		}
+		if tried < 0 {
+			for li := range lanes {
+				if fits(li) {
+					tried = li
+					break
+				}
+			}
+		}
+		if tried < 0 {
+			lanes = append(lanes, laneState{})
+			tried = len(lanes) - 1
+		}
+		lanes[tried].stack = append(lanes[tried].stack, i)
+		s.lane = tried
+	}
+	for _, i := range order {
+		place(i)
+	}
+
+	// Assemble the traceEvents array: process/lane metadata, then spans in
+	// placement order, then instants in stream order — all deterministic.
+	var out []json.RawMessage
+	add := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		out = append(out, b)
+		return nil
+	}
+	if err := add(perfettoMeta{
+		Name: "process_name", Ph: "M", Pid: perfettoPid, Tid: 0,
+		Args: map[string]string{"name": "pamo"},
+	}); err != nil {
+		return err
+	}
+	for li := range lanes {
+		if err := add(perfettoMeta{
+			Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: li,
+			Args: map[string]string{"name": fmt.Sprintf("lane %d", li)},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, i := range order {
+		s := &spans[i]
+		if err := add(perfettoSpan{
+			Name: s.ev.Name, Ph: "X",
+			Ts: s.start * 1e6, Dur: s.ev.DurSec * 1e6,
+			Pid: perfettoPid, Tid: s.lane,
+			Args: spanArgs(s.ev),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind == "span" {
+			continue
+		}
+		tid := 0
+		if pi, ok := byID[ev.Parent]; ok && spans[pi].lane >= 0 {
+			tid = spans[pi].lane
+		}
+		if err := add(perfettoInstant{
+			Name: ev.Name, Ph: "i", Ts: ev.T * 1e6,
+			Pid: perfettoPid, Tid: tid, S: "t",
+			Args: spanArgs(ev),
+		}); err != nil {
+			return err
+		}
+	}
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, b := range out {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// spanArgs copies the event's fields into the trace event's args, adding
+// the causal IDs so Perfetto's detail pane shows the recorded parentage.
+func spanArgs(ev *Event) Fields {
+	if len(ev.Fields) == 0 && ev.Trace == 0 {
+		return nil
+	}
+	args := make(Fields, len(ev.Fields)+3)
+	for k, v := range ev.Fields {
+		args[k] = v
+	}
+	if ev.Trace != 0 {
+		args["trace_id"] = float64(ev.Trace)
+	}
+	if ev.Span != 0 {
+		args["span_id"] = float64(ev.Span)
+	}
+	if ev.Parent != 0 {
+		args["parent_id"] = float64(ev.Parent)
+	}
+	return args
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// perfettoOut mirrors the exporter's output shape for test parsing.
+type perfettoOut struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	} `json:"traceEvents"`
+}
+
+// span builds a synthetic span event for exporter tests.
+func span(name string, t, dur float64, trace, id, parent uint64) Event {
+	return Event{T: t, Kind: "span", Name: name, DurSec: dur, Trace: trace, Span: id, Parent: parent}
+}
+
+func export(t *testing.T, events []Event) perfettoOut {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var out perfettoOut
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+// TestPerfettoNesting: a sequential parent/child/grandchild chain must land
+// on one lane, nested by time containment, with the causal IDs in args.
+func TestPerfettoNesting(t *testing.T) {
+	events := []Event{
+		// JSONL order is End() order: innermost first.
+		span("grandchild", 0.2, 0.1, 2, 5, 3),
+		span("child", 0.1, 0.3, 2, 3, 1),
+		span("root", 0.0, 1.0, 2, 1, 0),
+		{T: 0.25, Kind: "event", Name: "tick", Trace: 2, Parent: 5},
+	}
+	out := export(t, events)
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	lanes := map[string]int{}
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "X":
+			lanes[e.Name] = e.Tid
+			if e.Dur <= 0 || e.Pid != perfettoPid {
+				t.Fatalf("bad span %+v", e)
+			}
+		case "i":
+			if e.Name == "tick" && e.S != "t" {
+				t.Fatalf("instant scope %q", e.S)
+			}
+		case "M":
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+	}
+	if lanes["root"] != lanes["child"] || lanes["child"] != lanes["grandchild"] {
+		t.Fatalf("sequential chain split across lanes: %v", lanes)
+	}
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" && e.Name == "grandchild" {
+			if e.Args["span_id"] != float64(5) || e.Args["parent_id"] != float64(3) || e.Args["trace_id"] != float64(2) {
+				t.Fatalf("grandchild args %v", e.Args)
+			}
+		}
+	}
+}
+
+// TestPerfettoConcurrentSiblings: overlapping siblings cannot share a lane —
+// the exporter must spill them so neither is drawn inside the other.
+func TestPerfettoConcurrentSiblings(t *testing.T) {
+	events := []Event{
+		span("cell", 0.1, 0.4, 9, 2, 1), // overlaps its sibling
+		span("cell", 0.15, 0.4, 9, 3, 1),
+		span("root", 0.0, 1.0, 9, 1, 0),
+	}
+	out := export(t, events)
+	var cellLanes []int
+	rootLane := -1
+	for _, e := range out.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Name == "cell" {
+			cellLanes = append(cellLanes, e.Tid)
+		} else {
+			rootLane = e.Tid
+		}
+	}
+	if len(cellLanes) != 2 || cellLanes[0] == cellLanes[1] {
+		t.Fatalf("concurrent siblings share a lane: %v", cellLanes)
+	}
+	// One of them may stack under the root; both lanes must have metadata.
+	names := map[int]bool{}
+	for _, e := range out.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			names[e.Tid] = true
+		}
+	}
+	for _, l := range append(cellLanes, rootLane) {
+		if !names[l] {
+			t.Fatalf("lane %d missing thread_name metadata", l)
+		}
+	}
+}
+
+// TestPerfettoDeterministic: the same stream exports to identical bytes.
+func TestPerfettoDeterministic(t *testing.T) {
+	events := []Event{
+		span("b", 0.1, 0.2, 1, 3, 1),
+		span("a", 0.1, 0.2, 1, 2, 1),
+		span("root", 0, 0.5, 1, 1, 0),
+		{T: 0.3, Kind: "event", Name: "e", Fields: Fields{"x": 1, "a": 2}},
+	}
+	var b1, b2 bytes.Buffer
+	if err := WritePerfetto(&b1, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b2, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("export not deterministic")
+	}
+}
+
+// TestPerfettoEmptyStream: no events still yields valid JSON with process
+// metadata only.
+func TestPerfettoEmptyStream(t *testing.T) {
+	out := export(t, nil)
+	if len(out.TraceEvents) != 1 || out.TraceEvents[0].Ph != "M" {
+		t.Fatalf("empty stream export: %+v", out.TraceEvents)
+	}
+}
+
+// TestPerfettoLedgerInstant: kind "ledger" events export as instants on
+// their parent span's lane.
+func TestPerfettoLedgerInstant(t *testing.T) {
+	led := EpochLedger{Epoch: 1, Planned: 1, Realized: 0.5, DriftLoss: 0.5}
+	events := []Event{
+		span("epoch", 0, 1, 4, 1, 0),
+		{T: 0.9, Kind: "ledger", Name: "epoch_ledger", Trace: 4, Parent: 1, Ledger: &led},
+	}
+	out := export(t, events)
+	found := false
+	for _, e := range out.TraceEvents {
+		if e.Ph == "i" && e.Name == "epoch_ledger" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ledger did not export as an instant")
+	}
+}

@@ -2,25 +2,73 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Event is one line of the JSONL stream a Recorder emits. T is seconds
 // since the recorder started, measured on the monotonic clock; spans carry
-// their duration in DurSec.
+// their duration in DurSec. Trace/Span/Parent are the causal-trace IDs
+// (see trace.go); they are 0 — and omitted from the JSON — for events
+// recorded outside any trace context.
 type Event struct {
-	T      float64            `json:"t"`
-	Kind   string             `json:"kind"` // "span" or "event"
-	Name   string             `json:"name"`
-	DurSec float64            `json:"dur_s,omitempty"`
-	Fields map[string]float64 `json:"fields,omitempty"`
+	T      float64      `json:"t"`
+	Kind   string       `json:"kind"` // "span", "event", or "ledger"
+	Name   string       `json:"name"`
+	DurSec float64      `json:"dur_s,omitempty"`
+	Trace  uint64       `json:"trace,omitempty"`
+	Span   uint64       `json:"span,omitempty"`
+	Parent uint64       `json:"parent,omitempty"`
+	Fields Fields       `json:"fields,omitempty"`
+	Ledger *EpochLedger `json:"ledger,omitempty"` // kind "ledger" only
+}
+
+// Fields is an event's numeric-annotation map. It marshals its keys in
+// sorted order, so two runs that record the same values produce
+// byte-identical JSONL — plain map marshaling already sorts keys, but the
+// named type pins that contract (and golden tests hold it) independent of
+// encoding/json internals.
+type Fields map[string]float64
+
+// MarshalJSON writes the map with keys in ascending order.
+func (f Fields) MarshalJSON() ([]byte, error) {
+	if f == nil {
+		return []byte("null"), nil
+	}
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		v := f[k]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("obs: field %q is %v, not representable in JSON", k, v)
+		}
+		b.Write(strconv.AppendFloat(nil, v, 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
 }
 
 // Field is one numeric annotation on an event or span.
@@ -38,19 +86,25 @@ func F(key string, val float64) Field { return Field{Key: key, Val: val} }
 // concurrent use and no-ops on a nil receiver, so disabled telemetry costs
 // a nil check and nothing else.
 type Recorder struct {
-	mu    sync.Mutex
-	w     *bufio.Writer // nil: events are aggregated but not written
-	start time.Time
-	reg   *Registry
-	spans map[string]*SpanStat
-	err   error // first write error, surfaced by Close
+	mu      sync.Mutex
+	w       *bufio.Writer // nil: events are aggregated but not written
+	start   time.Time
+	reg     *Registry
+	spans   map[string]*SpanStat
+	durs    map[string]*Histogram // per-name span-duration histograms
+	ledgers []EpochLedger
+	err     error         // first write error, surfaced by Close
+	ids     atomic.Uint64 // trace/span ID allocator (IDs start at 1)
 }
 
 // NewRecorder returns a recorder writing JSONL events to w. A nil w keeps
 // span aggregation and the registry live without writing anything — useful
 // when only the metric/summary surfaces are wanted.
 func NewRecorder(w io.Writer) *Recorder {
-	r := &Recorder{start: time.Now(), reg: NewRegistry(), spans: map[string]*SpanStat{}}
+	r := &Recorder{
+		start: time.Now(), reg: NewRegistry(),
+		spans: map[string]*SpanStat{}, durs: map[string]*Histogram{},
+	}
 	if w != nil {
 		r.w = bufio.NewWriter(w)
 	}
@@ -79,22 +133,26 @@ func (r *Recorder) Event(name string, fields ...Field) {
 	})
 }
 
-// Span is an in-flight phase measurement started by StartSpan. End emits
-// the span event; Field attaches numeric annotations before that. All
-// methods are no-ops on a nil receiver.
+// Span is an in-flight phase measurement started by StartSpan or
+// StartSpanCtx. End emits the span event; Field attaches numeric
+// annotations before that. All methods are no-ops on a nil receiver.
 type Span struct {
 	r      *Recorder
 	name   string
 	t0     time.Time
 	fields []Field
+	trace  uint64 // trace ID shared with every span under one root
+	id     uint64 // this span's ID, unique within the recorder
+	parent uint64 // enclosing span's ID, 0 for roots
 }
 
-// StartSpan begins a named span on the monotonic clock.
+// StartSpan begins a named span on the monotonic clock. The span is the
+// root of a fresh trace; use StartSpanCtx to nest under an existing one.
 func (r *Recorder) StartSpan(name string, fields ...Field) *Span {
 	if r == nil {
 		return nil
 	}
-	sp := &Span{r: r, name: name, t0: time.Now()}
+	sp := &Span{r: r, name: name, t0: time.Now(), id: r.ids.Add(1), trace: r.ids.Add(1)}
 	sp.fields = append(sp.fields, fields...)
 	return sp
 }
@@ -121,6 +179,9 @@ func (sp *Span) End() float64 {
 		Kind:   "span",
 		Name:   sp.name,
 		DurSec: dur,
+		Trace:  sp.trace,
+		Span:   sp.id,
+		Parent: sp.parent,
 		Fields: fieldMap(sp.fields),
 	})
 	r.mu.Lock()
@@ -130,15 +191,34 @@ func (sp *Span) End() float64 {
 		r.spans[sp.name] = st
 	}
 	st.observe(dur)
+	h, ok := r.durs[sp.name]
+	if !ok {
+		h = newHistogram(DefBuckets)
+		r.durs[sp.name] = h
+	}
 	r.mu.Unlock()
+	h.Observe(dur)
 	return dur
 }
 
-func fieldMap(fields []Field) map[string]float64 {
+// SpanHistogram returns the duration histogram of all completed spans of
+// one name (an empty snapshot when the name never completed, or on a nil
+// receiver). Quantiles derive from it via HistogramSnapshot.Quantile.
+func (r *Recorder) SpanHistogram(name string) HistogramSnapshot {
+	if r == nil {
+		return HistogramSnapshot{}
+	}
+	r.mu.Lock()
+	h := r.durs[name]
+	r.mu.Unlock()
+	return h.Snapshot()
+}
+
+func fieldMap(fields []Field) Fields {
 	if len(fields) == 0 {
 		return nil
 	}
-	m := make(map[string]float64, len(fields))
+	m := make(Fields, len(fields))
 	for _, f := range fields {
 		m[f.Key] = f.Val
 	}

@@ -33,12 +33,12 @@ const (
 // Options tunes the PaMO scheduler. Zero values select defaults sized for
 // the paper's experiments (8 videos, 5 servers).
 type Options struct {
-	InitProfiles  int         // profiling configs per clip before the loop (default 24)
-	InitObs       int         // initial full-system observations (default 4)
-	PrefPairs     int         // V: decision-maker comparisons (default 18)
-	PrefPool      int         // candidate outcome vectors for EUBO pairs (default 24)
-	Batch         int         // b: candidates recommended per iteration (default 4)
-	MCSamples     int         // Monte-Carlo samples inside per-trial acquisitions (default 32)
+	InitProfiles int // profiling configs per clip before the loop (default 24)
+	InitObs      int // initial full-system observations (default 4)
+	PrefPairs    int // V: decision-maker comparisons (default 18)
+	PrefPool     int // candidate outcome vectors for EUBO pairs (default 24)
+	Batch        int // b: candidates recommended per iteration (default 4)
+	MCSamples    int // Monte-Carlo samples inside per-trial acquisitions (default 32)
 	// SharedDraws is the number of joint posterior draws for the
 	// shared-sample acquisition path (default 4×MCSamples). One draw set
 	// over the candidate∪observation universe is reused by every greedy
@@ -54,7 +54,7 @@ type Options struct {
 	// per iteration). It exists as a validation reference for the default
 	// shared-sample path and for experiments that want fully independent
 	// Monte-Carlo noise per trial.
-	PerTrialAcq bool
+	PerTrialAcq   bool
 	CandPool      int         // candidate configurations per iteration (default 20)
 	MaxIter       int         // BO iteration cap (default 12)
 	Delta         float64     // convergence threshold δ on benefit change (default 0.02)
@@ -69,7 +69,7 @@ type Options struct {
 	// the hidden benefit has sharp non-linearities (SLA thresholds, tiered
 	// tariffs) that the default long lengthscale smooths over.
 	OptimizePrefHyper bool
-	ProfilerNoise float64
+	ProfilerNoise     float64
 	// Measurer overrides where profiling measurements come from (e.g. a
 	// trace.Replayer); nil selects the live noisy profiler.
 	Measurer videosim.Measurer
@@ -89,7 +89,7 @@ type Options struct {
 	// per BO round), per-iteration acquisition events, and the pamo_*
 	// metrics of the recorder's registry. Nil disables telemetry at
 	// zero cost.
-	Obs  *obs.Recorder
+	Obs *obs.Recorder
 	// Check, when non-nil, verifies correctness invariants as the run
 	// proceeds: exact Const1/Const2 feasibility of every planned candidate,
 	// deployed-decision feasibility under the TRUE processing times
@@ -192,12 +192,12 @@ type Observation struct {
 
 // Result is the output of a PaMO run.
 type Result struct {
-	Best       Observation
-	History    []float64 // best believed benefit after each iteration
-	Iters      int
-	Converged  bool
-	PrefPairs  int // comparisons actually asked
-	Profiles   int // profiling measurements taken
+	Best      Observation
+	History   []float64 // best believed benefit after each iteration
+	Iters     int
+	Converged bool
+	PrefPairs int // comparisons actually asked
+	Profiles  int // profiling measurements taken
 	// MVNFallbacks counts joint-posterior sampling calls during this run
 	// that degraded to the deterministic mean because a covariance could
 	// not be factorized (see gp.SampleMVN). Non-zero values mean part of
@@ -215,6 +215,13 @@ type Scheduler struct {
 	norm objective.Normalizer
 
 	ctx context.Context // RunContext's cancellation, nil for plain Run
+	// evctx is the innermost open span's context: phases and BO iterations
+	// update it as their spans open and close so deeply nested emitters
+	// (recordAcq, three frames below the iteration loop) attribute events
+	// to the right span without threading a context through the acquisition
+	// call chain. Schedulers run one RunContext at a time, so plain field
+	// writes suffice.
+	evctx context.Context
 
 	clips          []*clipModels
 	learner        *pref.Learner
@@ -293,6 +300,7 @@ func (s *Scheduler) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	s.ctx = ctx
+	s.evctx = ctx
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -314,25 +322,39 @@ func (s *Scheduler) RunContext(ctx context.Context) (*Result, error) {
 // preferencePhase wraps the preference-modeling phase in its span and
 // reports the comparison/EUBO budget actually spent.
 func (s *Scheduler) preferencePhase() error {
-	sp := s.rec.StartSpan("preference")
-	defer sp.End()
-	if err := s.learnPreference(); err != nil {
-		return err
-	}
-	if s.learner != nil {
-		sp.Field("comparisons", float64(s.learner.Model.NumComparisons()))
-		sp.Field("eubo_queries", float64(s.learner.EUBOQueries))
-		s.met.euboQueries.Add(uint64(s.learner.EUBOQueries))
-		s.met.prefComps.Add(uint64(s.learner.Model.NumComparisons()))
-	}
-	return nil
+	var err error
+	s.rec.Do(s.ctx, "preference", func(ctx context.Context) {
+		_, sp := s.rec.StartSpanCtx(ctx, "preference")
+		defer sp.End()
+		if err = s.learnPreference(); err != nil {
+			return
+		}
+		if s.learner != nil {
+			sp.Field("comparisons", float64(s.learner.Model.NumComparisons()))
+			sp.Field("eubo_queries", float64(s.learner.EUBOQueries))
+			s.met.euboQueries.Add(uint64(s.learner.EUBOQueries))
+			s.met.prefComps.Add(uint64(s.learner.Model.NumComparisons()))
+		}
+	})
+	return err
 }
 
 // solutionPhase runs the BO loop (lines 12–21 of Algorithm 2) and the
 // final tournament, assembling the Result.
 func (s *Scheduler) solutionPhase() (*Result, error) {
-	sp := s.rec.StartSpan("solution")
+	var res *Result
+	var err error
+	s.rec.Do(s.ctx, "solution", func(ctx context.Context) {
+		res, err = s.solutionLoop(ctx)
+	})
+	return res, err
+}
+
+func (s *Scheduler) solutionLoop(ctx context.Context) (*Result, error) {
+	sctx, sp := s.rec.StartSpanCtx(ctx, "solution")
 	defer sp.End()
+	s.evctx = sctx
+	defer func() { s.evctx = s.ctx }()
 	if err := s.initialObservations(); err != nil {
 		return nil, fmt.Errorf("pamo: initial observations: %w", err)
 	}
@@ -349,10 +371,12 @@ func (s *Scheduler) solutionPhase() (*Result, error) {
 		}
 		res.Iters = iter + 1
 		s.met.iterations.Inc()
-		iterSp := s.rec.StartSpan("iteration", obs.F("iter", float64(iter+1)))
+		ictx, iterSp := s.rec.StartSpanCtx(sctx, "iteration", obs.F("iter", float64(iter+1)))
+		s.evctx = ictx
 		cands := s.generateCandidates()
 		if len(cands) == 0 {
 			iterSp.End()
+			s.evctx = sctx
 			break
 		}
 		batch := s.selectBatch(cands)
@@ -374,6 +398,7 @@ func (s *Scheduler) solutionPhase() (*Result, error) {
 		iterSp.Field("batch", float64(len(batch)))
 		iterSp.Field("best_benefit", z)
 		s.met.iterSeconds.Observe(iterSp.End())
+		s.evctx = sctx
 		if s.opt.OnIteration != nil {
 			s.opt.OnIteration(iter+1, z)
 		}
@@ -441,46 +466,51 @@ func (s *Scheduler) profileInit() error {
 	rois := s.roiGrid()
 	// Phase 1a: take every initial profiling measurement. (Measurement and
 	// fitting used to interleave per clip; they are split so each phase
-	// gets its own span. With OptimizeHyper off — the default — the RNG
-	// call sequence is unchanged.)
-	sp := s.rec.StartSpan("profiling", obs.F("clips", float64(s.sys.M())))
-	for ci, clip := range s.sys.Clips {
-		// Latin-hypercube over the knob grid, snapped to grid points.
-		pts := stats.LatinHypercube(s.opt.InitProfiles, 3, s.rng)
-		for _, p := range pts {
-			cfg := videosim.Config{
-				Resolution: snap(videosim.Resolutions, p[0]),
-				FPS:        snap(videosim.FrameRates, p[1]),
-				ROI:        snap(rois, p[2]),
+	// gets its own span and pprof label. With OptimizeHyper off — the
+	// default — the RNG call sequence is unchanged.)
+	s.rec.Do(s.ctx, "profiling", func(ctx context.Context) {
+		_, sp := s.rec.StartSpanCtx(ctx, "profiling", obs.F("clips", float64(s.sys.M())))
+		for ci, clip := range s.sys.Clips {
+			// Latin-hypercube over the knob grid, snapped to grid points.
+			pts := stats.LatinHypercube(s.opt.InitProfiles, 3, s.rng)
+			for _, p := range pts {
+				cfg := videosim.Config{
+					Resolution: snap(videosim.Resolutions, p[0]),
+					FPS:        snap(videosim.FrameRates, p[1]),
+					ROI:        snap(rois, p[2]),
+				}
+				s.clips[ci].addMeasurement(cfg, s.prof.Measure(clip, cfg))
+				s.countProfile()
 			}
-			s.clips[ci].addMeasurement(cfg, s.prof.Measure(clip, cfg))
-			s.countProfile()
+			// Always include the grid corners so bounds are anchored.
+			for _, cfg := range []videosim.Config{grid[0], grid[len(grid)-1]} {
+				s.clips[ci].addMeasurement(cfg, s.prof.Measure(clip, cfg))
+				s.countProfile()
+			}
 		}
-		// Always include the grid corners so bounds are anchored.
-		for _, cfg := range []videosim.Config{grid[0], grid[len(grid)-1]} {
-			s.clips[ci].addMeasurement(cfg, s.prof.Measure(clip, cfg))
-			s.countProfile()
-		}
-	}
-	sp.Field("profiles", float64(s.profiles))
-	sp.End()
+		sp.Field("profiles", float64(s.profiles))
+		sp.End()
+	})
 
 	// Phase 1b: condition the outcome GPs on the profiling data.
-	fit := s.rec.StartSpan("outcome_model")
-	defer fit.End()
-	for ci := range s.clips {
-		if err := s.clips[ci].refit(); err != nil {
-			return err
-		}
-		if s.opt.OptimizeHyper {
-			for _, mg := range s.clips[ci].m {
-				if err := mg.optimize(2, s.rng); err != nil {
-					return err
+	var err error
+	s.rec.Do(s.ctx, "outcome_model", func(ctx context.Context) {
+		_, fit := s.rec.StartSpanCtx(ctx, "outcome_model")
+		defer fit.End()
+		for ci := range s.clips {
+			if err = s.clips[ci].refit(); err != nil {
+				return
+			}
+			if s.opt.OptimizeHyper {
+				for _, mg := range s.clips[ci].m {
+					if err = mg.optimize(2, s.rng); err != nil {
+						return
+					}
 				}
 			}
 		}
-	}
-	return nil
+	})
+	return err
 }
 
 // countProfile tracks one profiling measurement in both the Result
@@ -541,11 +571,11 @@ func (s *Scheduler) extremeConfigs() [][]videosim.Config {
 	res := videosim.Resolutions
 	fps := videosim.FrameRates
 	corners := []videosim.Config{
-		{Resolution: res[0], FPS: fps[0]},                       // cheapest
-		{Resolution: res[len(res)-1], FPS: fps[len(fps)-1]},     // most accurate
-		{Resolution: res[len(res)-1], FPS: fps[0]},              // sharp but slow
-		{Resolution: res[0], FPS: fps[len(fps)-1]},              // fast but coarse
-		{Resolution: res[len(res)/2], FPS: fps[len(fps)/2]},     // middle
+		{Resolution: res[0], FPS: fps[0]},                   // cheapest
+		{Resolution: res[len(res)-1], FPS: fps[len(fps)-1]}, // most accurate
+		{Resolution: res[len(res)-1], FPS: fps[0]},          // sharp but slow
+		{Resolution: res[0], FPS: fps[len(fps)-1]},          // fast but coarse
+		{Resolution: res[len(res)/2], FPS: fps[len(fps)/2]}, // middle
 	}
 	var out [][]videosim.Config
 	for _, corner := range corners {

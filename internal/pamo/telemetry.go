@@ -41,7 +41,8 @@ func newSchedMetrics(reg *obs.Registry) schedMetrics {
 
 // recordAcq reports one batch construction: the greedy slot scores (the
 // per-iteration qNEI/qEI/... values) as an "acq" event plus histogram
-// observations.
+// observations. The event is attributed to the innermost open span
+// (normally the BO iteration) via s.evctx.
 func (s *Scheduler) recordAcq(universe int, slotScores []float64) {
 	for _, v := range slotScores {
 		s.met.acqScore.Observe(v)
@@ -56,5 +57,5 @@ func (s *Scheduler) recordAcq(universe int, slotScores []float64) {
 	for k, v := range slotScores {
 		fields = append(fields, obs.F("slot"+strconv.Itoa(k), v))
 	}
-	s.rec.Event("acq", fields...)
+	s.rec.EventCtx(s.evctx, "acq", fields...)
 }

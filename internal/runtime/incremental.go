@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+
 	"repro/internal/eva"
 	"repro/internal/objective"
 	"repro/internal/sched"
@@ -37,8 +39,9 @@ func adoptIncremental(rp *sched.Replanner, d eva.Decision, n int) {
 // servers. ok=false means the fast path declined — stale baseline, changed
 // periods, a group whose drifted processing no longer fits its exact gcd
 // budget, or too few surviving servers — and the caller must fall back to a
-// full scheduler invocation.
-func (c *Controller) incrementalReplan(rp *sched.Replanner, sys *objective.System, prev eva.Decision, healthy []bool) (eva.Decision, bool) {
+// full scheduler invocation. ctx carries the epoch's trace context, so the
+// replanner's sched_incremental span nests under the epoch span.
+func (c *Controller) incrementalReplan(ctx context.Context, rp *sched.Replanner, sys *objective.System, prev eva.Decision, healthy []bool) (eva.Decision, bool) {
 	if prev.IsDegraded() || !prev.ZeroJit || len(prev.Streams) == 0 {
 		return eva.Decision{}, false
 	}
@@ -49,7 +52,7 @@ func (c *Controller) incrementalReplan(rp *sched.Replanner, sys *objective.Syste
 		streams[i].Proc = clip.ProcTimeOf(cfg)
 		streams[i].Bits = clip.BitsOf(cfg)
 	}
-	plan, ok := rp.Incremental(streams, sys.Servers, healthy)
+	plan, ok := rp.IncrementalCtx(ctx, streams, sys.Servers, healthy)
 	if !ok {
 		return eva.Decision{}, false
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/objective"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/videosim"
 )
 
@@ -224,6 +225,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 	n := c.Sys.N()
 	trace := &Trace{}
 	rp := sched.NewReplanner()
+	rp.SetRecorder(c.Obs)
 	var current eva.Decision
 	haveDecision := false
 	bestSinceReplan := 0.0
@@ -234,6 +236,12 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			return trace, ctx.Err()
 		default:
 		}
+
+		// The epoch span roots this epoch's trace: every decide attempt,
+		// shard round, cell proposal, replan, and per-server DES run nests
+		// under it via the context. Early-return error paths leave it
+		// un-emitted, which is fine — an aborted epoch has no duration.
+		ectx, esp := c.Obs.StartSpanCtx(ctx, "epoch", obs.F("epoch", float64(epoch)))
 
 		// Apply this epoch's scripted faults and read the cluster state.
 		events := c.Faults.Advance(epoch)
@@ -246,7 +254,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		}
 		for _, e := range events {
 			faultEventsTotal.Inc()
-			c.Obs.Event("fault_"+string(e.Action),
+			c.Obs.EventCtx(ectx, "fault_"+string(e.Action),
 				obs.F("epoch", float64(epoch)),
 				obs.F("action", fault.ActionCode(e.Action)),
 				obs.F("target", float64(e.Target)),
@@ -268,6 +276,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		degraded := false
 		infeasible := false
 		attempts := 0
+		var sstats shard.Stats
 		dropTriggered := dropPending
 		if !haveDecision || epoch%opt.ReplanEvery == 0 || dropPending || topologyChanged {
 			if topologyChanged {
@@ -275,7 +284,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			}
 			incInstalled := false
 			if opt.Incremental && haveDecision {
-				if d, ok := c.incrementalReplan(rp, drifted, current, healthy); ok && decisionValid(d, healthy, n) == nil {
+				if d, ok := c.incrementalReplan(ectx, rp, drifted, current, healthy); ok && decisionValid(d, healthy, n) == nil {
 					if verr := opt.Check.VerifyDecision(d, n); verr != nil {
 						return trace, fmt.Errorf("runtime: epoch %d: incremental decision: %w", epoch, verr)
 					}
@@ -289,7 +298,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 						replansDrop.Inc()
 					}
 					incInstalled = true
-					c.Obs.Event("replan_incremental",
+					c.Obs.EventCtx(ectx, "replan_incremental",
 						obs.F("epoch", float64(epoch)),
 						obs.F("drop_triggered", boolField(dropTriggered)),
 						obs.F("healthy_servers", float64(nHealthy)),
@@ -297,13 +306,14 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 				}
 			}
 			if !incInstalled {
-				sp := c.Obs.StartSpan("replan",
+				rctx, sp := c.Obs.StartSpanCtx(ectx, "replan",
 					obs.F("epoch", float64(epoch)),
 					obs.F("drop_triggered", boolField(dropTriggered)),
 					obs.F("healthy_servers", float64(nHealthy)),
 					obs.F("drift", drift))
-				d, tries, err := c.decide(ctx, drifted, healthy, epoch, opt)
+				d, tries, stats, err := c.decide(rctx, drifted, healthy, epoch, opt)
 				attempts = tries
+				sstats = stats
 				sp.Field("failed", boolField(err != nil))
 				sp.Field("attempts", float64(tries))
 				sp.End()
@@ -360,14 +370,14 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			bestSinceReplan = math.Inf(-1)
 			rp.Invalidate() // degraded configs are not an incremental baseline
 			degradedEpochs.Inc()
-			c.Obs.Event("degraded",
+			c.Obs.EventCtx(ectx, "degraded",
 				obs.F("epoch", float64(epoch)),
 				obs.F("shed", float64(len(current.Shed))),
 				obs.F("downgraded", float64(len(current.Downgraded))))
 		}
 		degradedStreams.Set(float64(len(current.Shed) + len(current.Downgraded)))
 
-		out, jitter := c.evaluateParallel(ctx, drifted, current, opt.Workers, healthy, st.Stalled)
+		out, jitter := c.evaluateParallel(ectx, drifted, current, opt.Workers, healthy, st.Stalled)
 		if ctx.Err() != nil {
 			return trace, ctx.Err()
 		}
@@ -406,7 +416,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		benefitGauge.Set(benefit)
 		driftGauge.Set(drift)
 		jitterHist.Observe(jitter)
-		c.Obs.Event("epoch",
+		c.Obs.EventCtx(ectx, "epoch",
 			obs.F("epoch", float64(epoch)),
 			obs.F("benefit", benefit),
 			obs.F("max_jitter", jitter),
@@ -416,6 +426,28 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 			obs.F("degraded", boolField(degraded)),
 			obs.F("healthy_servers", float64(nHealthy)),
 			obs.F("drop_pending", boolField(dropPending)))
+
+		// Benefit-attribution ledger: decompose planned−realized into the
+		// loss buckets via counterfactual re-evaluations. Only when
+		// telemetry is on — the counterfactuals are pure (no RNG, scratch
+		// reset per call), so a recorded run's decisions and reports stay
+		// bit-identical to a nil-recorder run.
+		if c.Obs != nil {
+			led := c.buildLedger(ectx, ledgerInput{
+				epoch: epoch, drifted: drifted, d: current,
+				healthy: healthy, stalledCams: stalledCams,
+				realized: benefit, stats: sstats,
+				replanFailed: replanFailed, degraded: degraded || current.IsDegraded(),
+				workers: opt.Workers,
+			})
+			c.Obs.RecordLedger(ectx, led)
+			recordLedgerMetrics(reg, &led)
+		}
+
+		esp.Field("benefit", benefit)
+		esp.Field("replanned", boolField(replanned))
+		esp.Field("healthy_servers", float64(nHealthy))
+		esp.End()
 	}
 	return trace, nil
 }
@@ -423,10 +455,12 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 // decide invokes the scheduler under the configured per-attempt deadline
 // with bounded retry + exponential backoff, planning around down servers.
 // The returned decision is validated and always uses the full physical
-// server index space. It returns the number of attempts made. Retrying
-// stops early on infeasibility (deterministic — the degradation policy is
-// the answer, not another attempt) and on parent-context cancellation.
-func (c *Controller) decide(ctx context.Context, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, int, error) {
+// server index space. It returns the number of attempts made plus the
+// sharded-solve stats aggregated across attempts (zero when the serial
+// path ran). Retrying stops early on infeasibility (deterministic — the
+// degradation policy is the answer, not another attempt) and on
+// parent-context cancellation.
+func (c *Controller) decide(ctx context.Context, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, int, shard.Stats, error) {
 	retries := opt.DecideRetries
 	if retries == 0 {
 		retries = 1
@@ -440,6 +474,7 @@ func (c *Controller) decide(ctx context.Context, sys *objective.System, healthy 
 	retryCounter := c.Obs.Registry().Counter("runtime_decide_retries_total")
 
 	attempts := 0
+	var agg shard.Stats
 	var lastErr error
 	for try := 0; try <= retries; try++ {
 		if try > 0 {
@@ -447,21 +482,46 @@ func (c *Controller) decide(ctx context.Context, sys *objective.System, healthy 
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
-				return eva.Decision{}, attempts, ctx.Err()
+				return eva.Decision{}, attempts, agg, ctx.Err()
 			}
 			backoff *= 2
 		}
 		attempts++
-		d, err := c.decideOnce(ctx, sys, healthy, epoch, opt)
+		actx, asp := c.Obs.StartSpanCtx(ctx, "decide_attempt",
+			obs.F("epoch", float64(epoch)),
+			obs.F("try", float64(try)))
+		d, stats, err := c.decideOnce(actx, sys, healthy, epoch, opt)
+		asp.Field("failed", boolField(err != nil))
+		asp.End()
+		mergeShardStats(&agg, stats)
 		if err == nil {
-			return d, attempts, nil
+			return d, attempts, agg, nil
 		}
 		lastErr = err
 		if errors.Is(err, sched.ErrInfeasible) || ctx.Err() != nil {
 			break
 		}
 	}
-	return eva.Decision{}, attempts, lastErr
+	return eva.Decision{}, attempts, agg, lastErr
+}
+
+// mergeShardStats accumulates a decide attempt's sharded-solve stats into
+// the per-epoch aggregate the ledger records: counts add up across retried
+// attempts, flags OR, and the per-cell retry vector of the latest solve
+// wins (it describes the attempt whose plan was installed).
+func mergeShardStats(agg *shard.Stats, s shard.Stats) {
+	if s.Shards == 0 {
+		return
+	}
+	agg.Shards = s.Shards
+	agg.Rounds += s.Rounds
+	agg.Conflicts += s.Conflicts
+	agg.Retries += s.Retries
+	agg.Commits += s.Commits
+	agg.FellBack = agg.FellBack || s.FellBack
+	if s.CellRetries != nil {
+		agg.CellRetries = s.CellRetries
+	}
 }
 
 // decideOnce runs a single scheduler invocation under the decide deadline.
@@ -470,7 +530,7 @@ func (c *Controller) decide(ctx context.Context, sys *objective.System, healthy 
 // remapped back to physical indices. The call runs in its own goroutine so
 // a scheduler that ignores cancellation is abandoned when the deadline
 // fires rather than blocking the loop.
-func (c *Controller) decideOnce(ctx context.Context, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, error) {
+func (c *Controller) decideOnce(ctx context.Context, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, shard.Stats, error) {
 	dctx := ctx
 	cancel := func() {}
 	if opt.DecideTimeout > 0 {
@@ -479,48 +539,55 @@ func (c *Controller) decideOnce(ctx context.Context, sys *objective.System, heal
 	defer cancel()
 
 	type result struct {
-		d   eva.Decision
-		err error
+		d     eva.Decision
+		stats shard.Stats
+		err   error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		var r result
-		if opt.Shards > 1 {
-			if cd, ok := c.Sched.(CellDecider); ok {
-				r.d, r.err = c.decideSharded(dctx, cd, sys, healthy, epoch, opt)
-				ch <- r
-				return
-			}
-		}
-		switch {
-		case maskTrivial(healthy):
-			r.d, r.err = c.Sched.Decide(dctx, sys, epoch)
-		default:
-			if ma, ok := c.Sched.(MaskAware); ok {
-				r.d, r.err = ma.DecideMasked(dctx, sys, healthy, epoch)
-			} else {
-				view, phys := maskView(sys, healthy)
-				r.d, r.err = c.Sched.Decide(dctx, view, epoch)
-				if r.err == nil {
-					r.d, r.err = remapDecision(r.d, phys)
+		// The pprof phase label makes abandoned-but-still-running decide
+		// goroutines attributable in CPU profiles; the stats travel through
+		// the channel (never a Controller field) because an abandoned
+		// attempt may still be writing after the loop has moved on.
+		c.Obs.Do(dctx, "decide", func(dctx context.Context) {
+			var r result
+			if opt.Shards > 1 {
+				if cd, ok := c.Sched.(CellDecider); ok {
+					r.d, r.stats, r.err = c.decideSharded(dctx, cd, sys, healthy, epoch, opt)
+					ch <- r
+					return
 				}
 			}
-		}
-		ch <- r
+			switch {
+			case maskTrivial(healthy):
+				r.d, r.err = c.Sched.Decide(dctx, sys, epoch)
+			default:
+				if ma, ok := c.Sched.(MaskAware); ok {
+					r.d, r.err = ma.DecideMasked(dctx, sys, healthy, epoch)
+				} else {
+					view, phys := maskView(sys, healthy)
+					r.d, r.err = c.Sched.Decide(dctx, view, epoch)
+					if r.err == nil {
+						r.d, r.err = remapDecision(r.d, phys)
+					}
+				}
+			}
+			ch <- r
+		})
 	}()
 	select {
 	case r := <-ch:
 		if r.err == nil {
 			if err := decisionValid(r.d, healthy, sys.N()); err != nil {
-				return eva.Decision{}, err
+				return eva.Decision{}, r.stats, err
 			}
 		}
-		return r.d, r.err
+		return r.d, r.stats, r.err
 	case <-dctx.Done():
 		if ctx.Err() == nil {
 			c.Obs.Registry().Counter("runtime_decide_timeouts_total").Inc()
 		}
-		return eva.Decision{}, dctx.Err()
+		return eva.Decision{}, shard.Stats{}, dctx.Err()
 	}
 }
 
@@ -674,6 +741,14 @@ func (c *Controller) driftedSystem(epoch int) *objective.System {
 // cancelled ctx makes remaining workers return without simulating, so a
 // mid-epoch cancellation does not wait out every server.
 func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System, d eva.Decision, workers int, healthy []bool, stalled []bool) (objective.Vector, float64) {
+	return c.evaluate(ctx, sys, d, workers, healthy, stalled, c.Obs, true)
+}
+
+// evaluate is evaluateParallel's engine with the telemetry and audit taps
+// exposed: the real per-epoch evaluation passes (c.Obs, true); the
+// ledger's counterfactual evaluations pass (nil, false) so they perturb
+// neither the DES metrics/events nor the relaxed checker's check_* counts.
+func (c *Controller) evaluate(ctx context.Context, sys *objective.System, d eva.Decision, workers int, healthy []bool, stalled []bool, rec *obs.Recorder, audit bool) (objective.Vector, float64) {
 	// The decision's stream parameters were planned against possibly-stale
 	// content: re-derive true per-frame cost from the drifted clips while
 	// keeping the decision's periods and placement.
@@ -698,7 +773,7 @@ func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System
 	// relaxed checker: the plan was feasible under its believed costs, so an
 	// exact-constraint violation here is model error (content drifted under a
 	// running plan), recorded as check_* metrics but never an error.
-	if chk := c.Opt.Check; chk != nil {
+	if chk := c.Opt.Check; chk != nil && audit {
 		var liveStreams []sched.Stream
 		var liveAssign []int
 		for i, s := range streams {
@@ -775,7 +850,21 @@ func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System
 				})
 			}
 			c.specBufs[j] = specs
-			res := c.arenas[j].SimulateServerRecorded(specs, sys.Servers[j], eva.EvalHorizon, c.Obs, j)
+			var res cluster.Result
+			if rec == nil {
+				// Counterfactual / disabled-telemetry path: plain simulation,
+				// no spans, no events, no added allocations.
+				res = c.arenas[j].SimulateServer(specs, sys.Servers[j], eva.EvalHorizon)
+			} else {
+				rec.Do(ctx, "des", func(ctx context.Context) {
+					sctx, sp := rec.StartSpanCtx(ctx, "des",
+						obs.F("server", float64(j)),
+						obs.F("streams", float64(len(specs))))
+					res = c.arenas[j].SimulateServerRecordedCtx(sctx, specs, sys.Servers[j], eva.EvalHorizon, rec, j)
+					sp.Field("frames", float64(len(res.Frames)))
+					sp.End()
+				})
+			}
 			for _, f := range res.Frames {
 				results[j].latSum += f.Latency()
 				results[j].frames++

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/eva"
 	"repro/internal/objective"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/shard"
 	"repro/internal/videosim"
@@ -32,7 +33,9 @@ type CellDecider interface {
 // configuration decisions, then one sharded placement solve against an
 // immutable snapshot of the (possibly fault-masked) cluster. The snapshot
 // version is the epoch, so telemetry ties conflicts back to control time.
-func (c *Controller) decideSharded(ctx context.Context, cd CellDecider, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, error) {
+// The returned shard.Stats feed the epoch's benefit-attribution ledger
+// (conflict retries, fallbacks, per-cell bounce counts).
+func (c *Controller) decideSharded(ctx context.Context, cd CellDecider, sys *objective.System, healthy []bool, epoch int, opt Options) (eva.Decision, shard.Stats, error) {
 	cells := shard.PartitionVideos(sys.M(), opt.Shards)
 	cfgs := make([]videosim.Config, sys.M())
 	errs := make([]error, len(cells))
@@ -41,28 +44,35 @@ func (c *Controller) decideSharded(ctx context.Context, cd CellDecider, sys *obj
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			sub, err := cd.DecideCell(ctx, sys, cells[ci], epoch)
-			if err != nil {
-				errs[ci] = err
-				return
-			}
-			if len(sub) != len(cells[ci]) {
-				errs[ci] = fmt.Errorf("runtime: cell %d returned %d configs for %d videos", ci, len(sub), len(cells[ci]))
-				return
-			}
-			for k, v := range cells[ci] {
-				cfgs[v] = sub[k]
-			}
+			c.Obs.Do(ctx, "decide_cell", func(ctx context.Context) {
+				cctx, csp := c.Obs.StartSpanCtx(ctx, "decide_cell",
+					obs.F("cell", float64(ci)),
+					obs.F("videos", float64(len(cells[ci]))))
+				sub, err := cd.DecideCell(cctx, sys, cells[ci], epoch)
+				csp.Field("failed", boolField(err != nil))
+				csp.End()
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				if len(sub) != len(cells[ci]) {
+					errs[ci] = fmt.Errorf("runtime: cell %d returned %d configs for %d videos", ci, len(sub), len(cells[ci]))
+					return
+				}
+				for k, v := range cells[ci] {
+					cfgs[v] = sub[k]
+				}
+			})
 		}(ci)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return eva.Decision{}, err
+			return eva.Decision{}, shard.Stats{}, err
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return eva.Decision{}, err
+		return eva.Decision{}, shard.Stats{}, err
 	}
 
 	streams := eva.BuildStreams(sys, cfgs)
@@ -72,9 +82,9 @@ func (c *Controller) decideSharded(ctx context.Context, cd CellDecider, sys *obj
 	// sharing would race. The steady-state reuse story lives in the bench,
 	// which owns its planner.
 	pl := shard.New(shard.Options{Shards: opt.Shards, Obs: c.Obs, Check: opt.Check})
-	plan, _, err := pl.Plan(streams, snap)
+	plan, stats, err := pl.PlanCtx(ctx, streams, snap)
 	if err != nil {
-		return eva.Decision{}, err
+		return eva.Decision{}, stats, err
 	}
 	specs, _ := plan.ToClusterStreams(streams, sys.Servers)
 	offsets := make([]float64, len(streams))
@@ -84,5 +94,5 @@ func (c *Controller) decideSharded(ctx context.Context, cd CellDecider, sys *obj
 	return eva.Decision{
 		Configs: cfgs, Streams: streams, Assign: plan.StreamServer,
 		Offsets: offsets, ZeroJit: true,
-	}, nil
+	}, stats, nil
 }

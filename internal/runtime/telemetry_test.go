@@ -28,10 +28,10 @@ func TestRunEmitsEpochEventsAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var epochEvents, replanSpans, serverEvents int
+	var epochEvents, epochSpans, replanSpans, serverEvents, ledgers int
 	for _, ev := range evs {
-		switch ev.Name {
-		case "epoch":
+		switch {
+		case ev.Name == "epoch" && ev.Kind == "event":
 			epochEvents++
 			if ev.Fields["epoch"] != float64(epochEvents-1) {
 				t.Fatalf("epoch event %d has epoch field %v", epochEvents-1, ev.Fields["epoch"])
@@ -39,14 +39,37 @@ func TestRunEmitsEpochEventsAndMetrics(t *testing.T) {
 			if _, ok := ev.Fields["drift"]; !ok {
 				t.Fatalf("epoch event missing drift field: %v", ev.Fields)
 			}
-		case "replan":
+		case ev.Name == "epoch" && ev.Kind == "span":
+			epochSpans++
+			if ev.Span == 0 || ev.Trace == 0 {
+				t.Fatalf("epoch span missing ids: %+v", ev)
+			}
+		case ev.Name == "replan" && ev.Kind == "span":
 			replanSpans++
-		case "cluster.server":
+			if ev.Parent == 0 {
+				t.Fatalf("replan span has no parent: %+v", ev)
+			}
+		case ev.Name == "cluster.server":
 			serverEvents++
+		case ev.Kind == "ledger":
+			ledgers++
+			if ev.Ledger == nil {
+				t.Fatalf("ledger event missing payload: %+v", ev)
+			}
+			if !ev.Ledger.CheckExact() {
+				t.Fatalf("epoch %d ledger inexact: gap %v buckets %v",
+					ev.Ledger.Epoch, ev.Ledger.Gap(), ev.Ledger.SumBuckets())
+			}
 		}
 	}
 	if epochEvents != epochs {
 		t.Fatalf("epoch events %d, want %d", epochEvents, epochs)
+	}
+	if epochSpans != epochs {
+		t.Fatalf("epoch spans %d, want %d", epochSpans, epochs)
+	}
+	if ledgers != epochs {
+		t.Fatalf("ledger events %d, want %d", ledgers, epochs)
 	}
 	// Replans at epochs 0, 3, 6 with ReplanEvery=3.
 	if replanSpans != 3 {

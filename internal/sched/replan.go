@@ -1,11 +1,13 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"math/big"
 
 	"repro/internal/cluster"
 	"repro/internal/hungarian"
+	"repro/internal/obs"
 )
 
 // Replanner amortizes Algorithm 1 across runtime epochs. A full solve pays
@@ -27,6 +29,7 @@ import (
 // Incremental plans can be less optimal than a cold solve (the grouping is
 // frozen), but never less feasible.
 type Replanner struct {
+	rec     *obs.Recorder // optional; see SetRecorder
 	valid   bool
 	streams []Stream   // adopted workload; periods are authoritative
 	groups  [][]int    // adopted grouping (deep copy)
@@ -48,6 +51,38 @@ type Replanner struct {
 // NewReplanner returns an empty replanner; the first Replan always runs a
 // full solve.
 func NewReplanner() *Replanner { return &Replanner{} }
+
+// SetRecorder attaches a recorder: IncrementalCtx then emits one
+// "sched_incremental" span per attempt (fields: streams, taken) nested
+// under the caller's trace context, plus sched_incremental_total /
+// sched_incremental_declined_total counters. Nil (the default) disables
+// telemetry at zero cost.
+func (r *Replanner) SetRecorder(rec *obs.Recorder) { r.rec = rec }
+
+// IncrementalCtx is Incremental with trace-context propagation: the span
+// it emits (when a recorder is attached) parents under the span carried by
+// ctx, so an epoch's incremental replan shows up inside the epoch's trace.
+func (r *Replanner) IncrementalCtx(ctx context.Context, streams []Stream, servers []cluster.Server, healthy []bool) (Plan, bool) {
+	if r.rec == nil {
+		return r.Incremental(streams, servers, healthy)
+	}
+	_, sp := r.rec.StartSpanCtx(ctx, "sched_incremental", obs.F("streams", float64(len(streams))))
+	plan, ok := r.Incremental(streams, servers, healthy)
+	sp.Field("taken", b2f(ok))
+	sp.End()
+	r.rec.Registry().Counter("sched_incremental_total").Inc()
+	if !ok {
+		r.rec.Registry().Counter("sched_incremental_declined_total").Inc()
+	}
+	return plan, ok
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // Invalidate drops the adopted grouping, forcing the next Replan to run a
 // full solve. Call it when the workload changes shape outside Replan's view.

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -85,6 +86,10 @@ type Stats struct {
 	FellBack       bool
 	ProposeSeconds float64
 	CommitSeconds  float64
+	// CellRetries[c] counts how many times cell c's proposal bounced off
+	// the arbiter before committing — the per-cell attribution the benefit
+	// ledger reports. Nil for serial (Shards ≤ 1) solves.
+	CellRetries []int
 }
 
 // retryBuckets sizes the commit-retry histogram: buckets 0..6 and 7+.
@@ -141,9 +146,18 @@ func New(opt Options) *Planner {
 // server — shared or not — or an error (wrapping sched.ErrInfeasible when
 // capacity is the reason) is returned.
 func (p *Planner) Plan(streams []sched.Stream, snap *sched.Snapshot) (sched.Plan, Stats, error) {
+	return p.PlanCtx(context.Background(), streams, snap)
+}
+
+// PlanCtx is Plan with trace-context propagation: the shard_plan span
+// parents under the span carried by ctx, each propose/commit round gets a
+// shard_round child span, and every cell's proposal a shard_cell span
+// under its round — the epoch → decide → shard round → cell chain the
+// trace exporters render.
+func (p *Planner) PlanCtx(ctx context.Context, streams []sched.Stream, snap *sched.Snapshot) (sched.Plan, Stats, error) {
 	st := Stats{Shards: p.opt.Shards}
 	reg := p.opt.Obs.Registry()
-	sp := p.opt.Obs.StartSpan("shard_plan",
+	pctx, sp := p.opt.Obs.StartSpanCtx(ctx, "shard_plan",
 		obs.F("shards", float64(p.opt.Shards)),
 		obs.F("streams", float64(len(streams))),
 		obs.F("version", float64(snap.Version())))
@@ -195,8 +209,11 @@ func (p *Planner) Plan(streams []sched.Stream, snap *sched.Snapshot) (sched.Plan
 			// rather than spin if it is ever broken.
 			return sched.Plan{}, st, fmt.Errorf("shard: no progress after %d rounds", st.Rounds)
 		}
+		rctx, rsp := p.opt.Obs.StartSpanCtx(pctx, "shard_round",
+			obs.F("round", float64(st.Rounds)),
+			obs.F("pending", float64(nPending)))
 		t0 := time.Now()
-		p.proposeRound(streams, snap)
+		p.proposeRound(rctx, streams, snap, st.Rounds)
 		st.ProposeSeconds += time.Since(t0).Seconds()
 
 		t0 = time.Now()
@@ -213,6 +230,9 @@ func (p *Planner) Plan(streams []sched.Stream, snap *sched.Snapshot) (sched.Plan
 				reg.Counter("shard_fallbacks_total").Inc()
 				st.FellBack = true
 				st.CommitSeconds += time.Since(t0).Seconds()
+				p.fillCellRetries(&st)
+				rsp.Field("fellback", 1)
+				rsp.End()
 				plan, err := sched.ScheduleSnapshot(streams, snap)
 				if err != nil {
 					return sched.Plan{}, st, err
@@ -226,6 +246,9 @@ func (p *Planner) Plan(streams []sched.Stream, snap *sched.Snapshot) (sched.Plan
 				cell.retries++
 				reg.Counter("shard_conflicts_total").Inc()
 				reg.Counter("shard_retries_total").Inc()
+				p.opt.Obs.EventCtx(rctx, "shard_conflict",
+					obs.F("cell", float64(cell.idx)),
+					obs.F("retries", float64(cell.retries)))
 				continue
 			}
 			st.Commits++
@@ -237,23 +260,52 @@ func (p *Planner) Plan(streams []sched.Stream, snap *sched.Snapshot) (sched.Plan
 			st.RetryHist[b]++
 			cell.pending = false
 			nPending--
+			p.opt.Obs.EventCtx(rctx, "shard_commit",
+				obs.F("cell", float64(cell.idx)),
+				obs.F("retries", float64(cell.retries)),
+				obs.F("groups", float64(len(cell.prop.Claims))))
 		}
 		st.CommitSeconds += time.Since(t0).Seconds()
+		rsp.Field("committed", float64(st.Commits))
+		rsp.End()
 	}
 	reg.Gauge("shard_rounds").Set(float64(st.Rounds))
 	reg.Histogram("shard_commit_seconds", obs.DefBuckets).Observe(st.CommitSeconds)
 
+	p.fillCellRetries(&st)
 	plan := p.arb.Plan(len(streams))
 	return plan, st, p.audit(streams, plan, snap)
 }
 
+// fillCellRetries copies the per-cell bounce counts into the stats — the
+// ledger's per-cell conflict attribution.
+func (p *Planner) fillCellRetries(st *Stats) {
+	st.CellRetries = make([]int, len(p.cells))
+	for c := range p.cells {
+		st.CellRetries[c] = p.cells[c].retries
+	}
+}
+
 // proposeRound computes a fresh proposal for every pending cell against the
-// arbiter state frozen at round start — in parallel unless Sequential.
-func (p *Planner) proposeRound(streams []sched.Stream, snap *sched.Snapshot) {
+// arbiter state frozen at round start — in parallel unless Sequential. Each
+// cell's work is recorded as a shard_cell span under the round's span, and
+// the propose goroutines carry a phase=shard_propose pprof label so CPU
+// profiles attribute grouping/assignment time to the sharded plane.
+func (p *Planner) proposeRound(ctx context.Context, streams []sched.Stream, snap *sched.Snapshot, round int) {
+	proposeCell := func(ctx context.Context, c int) {
+		_, csp := p.opt.Obs.StartSpanCtx(ctx, "shard_cell",
+			obs.F("cell", float64(c)),
+			obs.F("round", float64(round)),
+			obs.F("streams", float64(len(p.cells[c].global))))
+		p.propose(&p.cells[c], streams, snap)
+		csp.Field("stuck", b2f(p.cells[c].stuck))
+		csp.Field("groups", float64(len(p.cells[c].prop.Claims)))
+		csp.End()
+	}
 	if p.opt.Sequential {
 		for c := range p.cells {
 			if p.cells[c].pending {
-				p.propose(&p.cells[c], streams, snap)
+				proposeCell(ctx, c)
 			}
 		}
 		return
@@ -266,7 +318,9 @@ func (p *Planner) proposeRound(streams []sched.Stream, snap *sched.Snapshot) {
 		}
 		n++
 		go func(c int) {
-			p.propose(&p.cells[c], streams, snap)
+			p.opt.Obs.Do(ctx, "shard_propose", func(ctx context.Context) {
+				proposeCell(ctx, c)
+			})
 			done <- c
 		}(c)
 	}
