@@ -1,0 +1,344 @@
+// Command pamo-controller runs the scheduling control plane as a daemon:
+// the controller owns the decide loop, liveness inference, and stream
+// churn, while per-server evaluation is farmed out to agents over
+// HTTP/JSON (see cmd/pamo-agent). Agents heartbeat by carrying work; a
+// server whose agent goes quiet for -missed-beats epochs is inferred down
+// and planned around, exactly like an injected crash.
+//
+// Two fleet modes:
+//
+//   - real agents: -addr serves the wire API, -agents N waits for N
+//     registrations before the run starts;
+//   - hollow agents: -hollow N runs N in-process agents over a loopback
+//     transport (no sockets), which scales to thousands of servers and
+//     turns any fault scenario into a chaos script (-chaos kills and
+//     restarts the hollow agent processes, so every outage must be
+//     inferred from silence).
+//
+// Usage:
+//
+//	pamo-controller -videos 8 -servers 4 -hollow 4 -epochs 12
+//	pamo-controller -videos 16 -servers 64 -hollow 64 -faults sc.json -chaos -missed-beats 1 -strict
+//	pamo-controller -videos 6 -servers 3 -hollow 3 -epochs 10 -compare-inprocess
+//	pamo-controller -addr :7070 -servers 4 -agents 4 -epochs 12
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flag"
+
+	"repro/internal/check"
+	"repro/internal/ctlplane"
+	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/objective"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/videosim"
+)
+
+// wireRunOutput is the run summary printed as JSON on exit.
+type wireRunOutput struct {
+	Videos         int     `json:"videos"`
+	Servers        int     `json:"servers"`
+	Epochs         int     `json:"epochs"`
+	HollowAgents   int     `json:"hollow_agents"`
+	Scenario       string  `json:"scenario,omitempty"`
+	Chaos          bool    `json:"chaos"`
+	MeanBenefit    float64 `json:"mean_benefit"`
+	Replans        int     `json:"replans"`
+	DegradedEpochs int     `json:"degraded_epochs"`
+	FaultEvents    int     `json:"fault_events"`
+	MinHealthy     int     `json:"min_healthy"`
+	FinalHealthy   int     `json:"final_healthy"`
+
+	// Wire-plane counters, straight from the metric registry.
+	Results           uint64 `json:"results_total"`
+	EvalTimeouts      uint64 `json:"eval_timeouts_total"`
+	MarksDown         uint64 `json:"marks_down_total"`
+	MarksUp           uint64 `json:"marks_up_total"`
+	StaleResults      uint64 `json:"stale_results_total"`
+	StaleIncarnations uint64 `json:"stale_incarnations_total"`
+	StrictViolations  uint64 `json:"strict_violations"`
+
+	// Set (and gating) only with -compare-inprocess.
+	WireMatchesInProcess *bool `json:"wire_matches_inprocess,omitempty"`
+}
+
+func main() {
+	videos := flag.Int("videos", 8, "number of video sources")
+	servers := flag.Int("servers", 4, "number of edge servers")
+	seed := flag.Uint64("seed", 1, "random seed (system generation and retry jitter)")
+	epochs := flag.Int("epochs", 12, "control epochs to run")
+	replanEvery := flag.Int("replan-every", 5, "replan period in epochs")
+	addr := flag.String("addr", "", "serve the wire API on this address for external agents")
+	agents := flag.Int("agents", 0, "with -addr: wait for this many agent registrations before running")
+	hollow := flag.Int("hollow", 0, "run this many in-process hollow agents over the loopback transport")
+	missedBeats := flag.Int("missed-beats", 2, "epochs of silence before a server is inferred down")
+	evalTimeout := flag.Duration("eval-timeout", 5*time.Second, "per-server wire evaluation deadline")
+	epochInterval := flag.Duration("epoch-interval", 0, "wall-clock pacing between epochs (0 = as fast as possible)")
+	faults := flag.String("faults", "", "fault scenario JSON")
+	chaos := flag.Bool("chaos", false, "with -hollow and -faults: act out server events by killing/restarting hollow agents (liveness must be inferred)")
+	strict := flag.Bool("strict", false, "strict invariant checker: any install-time violation aborts with a non-zero exit")
+	compare := flag.Bool("compare-inprocess", false, "after the wire run, repeat it in-process and fail unless the traces are byte-identical")
+	events := flag.String("events", "", "stream telemetry of the run as JSONL to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address while running")
+	flag.Parse()
+
+	if *hollow == 0 && *addr == "" {
+		fmt.Fprintln(os.Stderr, "need a fleet: -hollow N for in-process agents or -addr plus -agents for real ones")
+		os.Exit(2)
+	}
+	if *chaos && (*hollow == 0 || *faults == "") {
+		fmt.Fprintln(os.Stderr, "-chaos needs both -hollow and -faults")
+		os.Exit(2)
+	}
+	if *compare && *chaos {
+		// Inferred detection lags a real kill by the missed-beat window, so
+		// a chaos run is not byte-comparable to oracle fault injection.
+		fmt.Fprintln(os.Stderr, "-compare-inprocess requires oracle health (drop -chaos)")
+		os.Exit(2)
+	}
+
+	var sink io.Writer
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+	rec := obs.NewRecorder(sink)
+	defer rec.Close()
+	if *metricsAddr != "" {
+		maddr, err := rec.Registry().Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", maddr)
+	}
+
+	var sc *fault.Scenario
+	if *faults != "" {
+		var err error
+		if sc, err = fault.LoadFile(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	sys := exp.NewSystem(*videos, *servers, *seed)
+	rt := newRuntime(sys, rec, *strict, *replanEvery, *seed)
+
+	opt := ctlplane.Options{
+		MissedBeats:   *missedBeats,
+		EvalTimeout:   *evalTimeout,
+		EpochInterval: *epochInterval,
+		Obs:           rec,
+	}
+	var chaosDriver *ctlplane.ChaosDriver
+	switch {
+	case sc == nil:
+		// No faults: liveness inference runs against a quiet fleet.
+	case *chaos:
+		// Liveness events become real agent kills; only the environment
+		// half (stalls, link degradation) is injected. The controller must
+		// infer every crash from missed beats.
+		_, env := sc.Split()
+		inj, err := fault.NewInjector(env, sys.N(), sys.M())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Env = inj
+	default:
+		// Oracle mode: the whole scenario is injected, as in-process runs
+		// do. Useful for byte-exact cross-checks of the wire plane.
+		inj, err := fault.NewInjector(sc, sys.N(), sys.M())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Env = inj
+		opt.OracleHealth = true
+	}
+
+	ctl := ctlplane.New(rt, opt)
+
+	var fleet *ctlplane.HollowFleet
+	if *hollow > 0 {
+		if *hollow != sys.N() {
+			fmt.Fprintf(os.Stderr, "-hollow %d must match -servers %d (one agent per server)\n", *hollow, *servers)
+			os.Exit(2)
+		}
+		fleet = ctlplane.NewHollowFleet(ctl, *hollow)
+		if *chaos {
+			chaosDriver = ctlplane.NewChaosDriver(fleet, sc)
+			ctl.OnEpoch(chaosDriver.OnEpoch)
+		}
+		if err := fleet.StartAll(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer fleet.Close()
+	}
+	if *addr != "" {
+		a, srv, err := ctl.Serve(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "control plane on http://%s\n", a)
+		if *agents > 0 {
+			wctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			fmt.Fprintf(os.Stderr, "waiting for %d agents...\n", *agents)
+			err := ctl.WaitAgents(wctx, *agents)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "waiting for agents: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	trace, err := ctl.Run(context.Background(), *epochs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	snap := rec.Registry().Snapshot()
+	out := wireRunOutput{
+		Videos:       *videos,
+		Servers:      *servers,
+		Epochs:       len(trace.Reports),
+		HollowAgents: *hollow,
+		Chaos:        *chaos,
+		MeanBenefit:  trace.MeanBenefit(),
+		MinHealthy:   sys.N(),
+
+		Results:           snap.Counters["ctlplane_results_total"],
+		EvalTimeouts:      snap.Counters["ctlplane_eval_timeouts_total"],
+		MarksDown:         snap.Counters["ctlplane_marks_down_total"],
+		MarksUp:           snap.Counters["ctlplane_marks_up_total"],
+		StaleResults:      snap.Counters["ctlplane_stale_results_total"],
+		StaleIncarnations: snap.Counters["ctlplane_stale_incarnations_total"],
+	}
+	if sc != nil {
+		out.Scenario = sc.Name
+	}
+	for _, r := range trace.Reports {
+		if r.Replanned {
+			out.Replans++
+		}
+		if r.Degraded {
+			out.DegradedEpochs++
+		}
+		out.FaultEvents += r.FaultEvents
+		if r.HealthyServers < out.MinHealthy {
+			out.MinHealthy = r.HealthyServers
+		}
+		out.FinalHealthy = r.HealthyServers
+	}
+
+	exitCode := 0
+	if *compare {
+		match, err := compareInProcess(trace, sys0(*videos, *servers, *seed), sc, *strict, *replanEvery, *seed, *epochs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare-inprocess: %v\n", err)
+			os.Exit(1)
+		}
+		out.WireMatchesInProcess = &match
+		if !match {
+			fmt.Fprintln(os.Stderr, "wire trace DIVERGED from the in-process run")
+			exitCode = 1
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *addr != "" {
+		// Linger one poll cycle so external agents parked on long polls see
+		// the shutdown response instead of a torn-down listener.
+		time.Sleep(1500 * time.Millisecond)
+	}
+	if exitCode != 0 {
+		rec.Close()
+		os.Exit(exitCode)
+	}
+	// Success falls through so the deferred recorder/fleet/server cleanup
+	// (and the events file flush) runs.
+}
+
+// sys0 regenerates the run's system from scratch: exp.NewSystem is
+// deterministic in (videos, servers, seed), and the in-process replay must
+// not share mutable state with the wire run.
+func sys0(videos, servers int, seed uint64) *objective.System {
+	return exp.NewSystem(videos, servers, seed)
+}
+
+// newRuntime builds the decide-loop controller the wire plane wraps. The
+// fixed scheduler keeps daemon runs deterministic and fast; retry backoff
+// jitter is on (seed-derived) so restarted daemons desynchronize.
+func newRuntime(sys *objective.System, rec *obs.Recorder, strict bool, replanEvery int, seed uint64) *runtime.Controller {
+	var chk *check.Checker
+	if strict || rec != nil {
+		chk = check.New(strict, rec)
+	}
+	return &runtime.Controller{
+		Sys:   sys,
+		Sched: &runtime.FixedScheduler{Cfg: videosim.Config{Resolution: 1000, FPS: 10}},
+		Truth: objective.UniformPreference(),
+		Norm:  objective.NewNormalizer(sys),
+		Opt: runtime.Options{
+			ReplanEvery:   replanEvery,
+			Check:         chk,
+			BackoffJitter: true,
+			BackoffSeed:   seed,
+		},
+		Obs: rec,
+	}
+}
+
+// compareInProcess re-runs the identical configuration without the wire
+// (in-process evaluators, injector-driven health) and byte-compares the
+// serialized epoch reports against the wire trace.
+func compareInProcess(wire *runtime.Trace, sys *objective.System, sc *fault.Scenario, strict bool, replanEvery int, seed uint64, epochs int) (bool, error) {
+	rec := obs.NewRecorder(nil)
+	defer rec.Close()
+	rt := newRuntime(sys, rec, strict, replanEvery, seed)
+	if sc != nil {
+		inj, err := fault.NewInjector(sc, sys.N(), sys.M())
+		if err != nil {
+			return false, err
+		}
+		rt.Faults = inj
+	}
+	ref, err := rt.Run(context.Background(), epochs)
+	if err != nil {
+		return false, err
+	}
+	a, err := json.Marshal(wire.Reports)
+	if err != nil {
+		return false, err
+	}
+	b, err := json.Marshal(ref.Reports)
+	if err != nil {
+		return false, err
+	}
+	return string(a) == string(b), nil
+}

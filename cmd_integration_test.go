@@ -1,12 +1,15 @@
 package repro
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles one command into a temp dir and returns the binary path.
@@ -204,5 +207,135 @@ func TestCmdPamoTraceEventsAndSummary(t *testing.T) {
 		if !strings.Contains(sum, phase) {
 			t.Fatalf("events-summary missing %q:\n%s", phase, sum)
 		}
+	}
+}
+
+func TestCmdPamoControllerHollowCompare(t *testing.T) {
+	bin := buildCmd(t, "pamo-controller")
+	out := run(t, bin, "-videos", "4", "-servers", "2", "-hollow", "2",
+		"-epochs", "6", "-strict", "-compare-inprocess")
+	var payload struct {
+		Epochs       int    `json:"epochs"`
+		HollowAgents int    `json:"hollow_agents"`
+		Results      uint64 `json:"results_total"`
+		Matches      *bool  `json:"wire_matches_inprocess"`
+	}
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if payload.Epochs != 6 || payload.HollowAgents != 2 {
+		t.Fatalf("payload: %+v", payload)
+	}
+	if payload.Results != 12 { // 2 servers x 6 epochs
+		t.Fatalf("results_total = %d, want 12", payload.Results)
+	}
+	if payload.Matches == nil || !*payload.Matches {
+		t.Fatalf("wire run diverged from in-process: %s", out)
+	}
+}
+
+func TestCmdPamoControllerChaos(t *testing.T) {
+	bin := buildCmd(t, "pamo-controller")
+	scPath := filepath.Join(t.TempDir(), "chaos.json")
+	scenario := `{"name":"kill-recover","events":[
+		{"epoch":2,"action":"server_down","target":1},
+		{"epoch":2,"action":"server_down","target":3},
+		{"epoch":4,"action":"server_up","target":1}]}`
+	if err := os.WriteFile(scPath, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, bin, "-videos", "6", "-servers", "4", "-hollow", "4",
+		"-epochs", "8", "-faults", scPath, "-chaos", "-missed-beats", "1", "-strict")
+	var payload struct {
+		Scenario     string `json:"scenario"`
+		Chaos        bool   `json:"chaos"`
+		FaultEvents  int    `json:"fault_events"`
+		MinHealthy   int    `json:"min_healthy"`
+		FinalHealthy int    `json:"final_healthy"`
+		MarksDown    uint64 `json:"marks_down_total"`
+		MarksUp      uint64 `json:"marks_up_total"`
+	}
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if !payload.Chaos || payload.Scenario != "kill-recover" {
+		t.Fatalf("payload: %+v", payload)
+	}
+	// Both kills inferred from silence, one restart observed, and the
+	// healthy count must dip to 2 and recover to 3.
+	if payload.MarksDown != 2 || payload.MarksUp != 1 {
+		t.Fatalf("marks down/up = %d/%d, want 2/1", payload.MarksDown, payload.MarksUp)
+	}
+	if payload.MinHealthy != 2 || payload.FinalHealthy != 3 {
+		t.Fatalf("healthy min/final = %d/%d, want 2/3", payload.MinHealthy, payload.FinalHealthy)
+	}
+	if payload.FaultEvents != 3 {
+		t.Fatalf("fault events = %d, want 3", payload.FaultEvents)
+	}
+}
+
+// TestCmdControllerAgentTCP drives the real wire: a controller daemon on a
+// kernel-assigned TCP port, an external pamo-agent process hosting both
+// servers, graceful shutdown on run completion.
+func TestCmdControllerAgentTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns two daemon processes")
+	}
+	ctlBin := buildCmd(t, "pamo-controller")
+	agentBin := buildCmd(t, "pamo-agent")
+
+	ctl := exec.Command(ctlBin, "-videos", "4", "-servers", "2",
+		"-epochs", "6", "-addr", "127.0.0.1:0", "-agents", "2", "-strict")
+	stderr, err := ctl.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctlOut bytes.Buffer
+	ctl.Stdout = &ctlOut
+	if err := ctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = ctl.Process.Kill()
+		_ = ctl.Wait()
+	}()
+
+	// The daemon prints its bound address on stderr; scan for it.
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "control plane on "); ok {
+				urlCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	var base string
+	select {
+	case base = <-urlCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("controller never announced its address")
+	}
+
+	agentOut, err := exec.Command(agentBin, "-controller", base,
+		"-server", "0", "-count", "2", "-give-up", "20s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("agent: %v\n%s", err, agentOut)
+	}
+	if !strings.Contains(string(agentOut), "shutdown") {
+		t.Fatalf("agent did not observe shutdown:\n%s", agentOut)
+	}
+	if err := ctl.Wait(); err != nil {
+		t.Fatalf("controller: %v", err)
+	}
+	var payload struct {
+		Results uint64 `json:"results_total"`
+	}
+	if err := json.Unmarshal(ctlOut.Bytes(), &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, ctlOut.String())
+	}
+	if payload.Results != 12 {
+		t.Fatalf("results_total = %d, want 12", payload.Results)
 	}
 }

@@ -1,0 +1,476 @@
+package ctlplane
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/objective"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/videosim"
+)
+
+// testSystem builds the small deterministic cluster the golden fault run
+// uses: uniform clips, heterogeneous uplinks.
+func testSystem(videos, servers int) *objective.System {
+	clips := make([]*videosim.Clip, videos)
+	for i := range clips {
+		clips[i] = &videosim.Clip{
+			Name: fmt.Sprintf("cam%d", i), AccBase: 0.9,
+			AccFactor: 1, ComputeFac: 1, BitFac: 1, EnergyFac: 1,
+		}
+	}
+	srvs := make([]cluster.Server, servers)
+	for j := range srvs {
+		srvs[j] = cluster.Server{Uplink: float64(10+5*(j%8)) * 1e6}
+	}
+	return &objective.System{Clips: clips, Servers: srvs}
+}
+
+func newRuntime(sys *objective.System, rec *obs.Recorder, strict bool) *runtime.Controller {
+	var chk *check.Checker
+	if strict {
+		chk = check.New(true, rec)
+	}
+	return &runtime.Controller{
+		Sys:   sys,
+		Sched: &runtime.FixedScheduler{Cfg: videosim.Config{Resolution: 1000, FPS: 10}},
+		Truth: objective.UniformPreference(),
+		Norm:  objective.NewNormalizer(sys),
+		Opt:   runtime.Options{ReplanEvery: 100, Check: chk},
+		Obs:   rec,
+	}
+}
+
+// TestWireMatchesInProcess is the headline equivalence property: the
+// wire-driven loop (controller + hollow agents, no faults) must reproduce
+// the in-process run byte-exactly — same decisions, same DES outcomes,
+// same benefits, down to the last bit of every float. Go's encoding/json
+// round-trips float64 exactly, the agents fold frames in the same order
+// the in-process evaluator does, and this test pins both facts.
+func TestWireMatchesInProcess(t *testing.T) {
+	const videos, servers, epochs = 6, 3, 8
+
+	inproc := newRuntime(testSystem(videos, servers), obs.NewRecorder(nil), true)
+	want, err := inproc.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := newRuntime(testSystem(videos, servers), obs.NewRecorder(nil), true)
+	ctl := New(rt, Options{MissedBeats: 2})
+	fleet := NewHollowFleet(ctl, servers)
+	if err := fleet.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	got, err := ctl.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wj, _ := json.Marshal(want.Reports)
+	gj, _ := json.Marshal(got.Reports)
+	if string(wj) != string(gj) {
+		t.Fatalf("wire trace diverged from in-process:\n got %s\nwant %s", gj, wj)
+	}
+	reg := ctl.rec.Registry()
+	if v := reg.Counter("ctlplane_results_total").Value(); v != uint64(servers*epochs) {
+		t.Fatalf("results_total = %d, want %d", v, servers*epochs)
+	}
+	if v := reg.Counter("ctlplane_marks_down_total").Value(); v != 0 {
+		t.Fatalf("no-fault run marked %d servers down", v)
+	}
+}
+
+// TestOracleHealthMatchesInjector pins the other equivalence: with
+// OracleHealth the wire loop under a fault scenario must match the
+// in-process injector-driven run byte-exactly (the root-package golden
+// test checks the same configuration against testdata/golden/).
+func TestOracleHealthMatchesInjector(t *testing.T) {
+	const videos, servers, epochs = 6, 3, 10
+	sc := &fault.Scenario{Name: "golden-crash", Events: []fault.Event{
+		{Epoch: 2, Action: fault.ServerDown, Target: 0},
+		{Epoch: 4, Action: fault.ServerDown, Target: 2},
+		{Epoch: 7, Action: fault.ServerUp, Target: 0},
+	}}
+
+	sysA := testSystem(videos, servers)
+	injA, err := fault.NewInjector(sc, servers, videos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc := newRuntime(sysA, obs.NewRecorder(nil), true)
+	inproc.Faults = injA
+	want, err := inproc.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	injB, err := fault.NewInjector(sc, servers, videos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newRuntime(testSystem(videos, servers), obs.NewRecorder(nil), true)
+	ctl := New(rt, Options{Env: injB, OracleHealth: true})
+	fleet := NewHollowFleet(ctl, servers)
+	if err := fleet.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	got, err := ctl.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wj, _ := json.Marshal(want.Reports)
+	gj, _ := json.Marshal(got.Reports)
+	if string(wj) != string(gj) {
+		t.Fatalf("oracle wire trace diverged:\n got %s\nwant %s", gj, wj)
+	}
+}
+
+// TestLivenessInference kills an agent mid-run with no injector in sight:
+// the controller must notice the silence through missed beats, mark the
+// server down (forcing a masked replan), and mark it back up after the
+// restart — all under a strict checker.
+func TestLivenessInference(t *testing.T) {
+	const videos, servers, epochs = 6, 3, 10
+	rt := newRuntime(testSystem(videos, servers), obs.NewRecorder(nil), true)
+	var fleet *HollowFleet
+	ctl := New(rt, Options{
+		MissedBeats: 1,
+		EvalTimeout: 2 * time.Second,
+		OnEpoch: func(epoch int) {
+			switch epoch {
+			case 2:
+				fleet.Kill(1)
+			case 6:
+				if err := fleet.Restart(1); err != nil {
+					t.Errorf("restart: %v", err)
+				}
+			}
+		},
+	})
+	fleet = NewHollowFleet(ctl, servers)
+	if err := fleet.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	trace, err := ctl.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Reports) != epochs {
+		t.Fatalf("got %d reports", len(trace.Reports))
+	}
+
+	reg := ctl.rec.Registry()
+	if v := reg.Counter("ctlplane_marks_down_total").Value(); v != 1 {
+		t.Fatalf("marks_down_total = %d, want 1", v)
+	}
+	if v := reg.Counter("ctlplane_marks_up_total").Value(); v != 1 {
+		t.Fatalf("marks_up_total = %d, want 1", v)
+	}
+	// Kill at epoch 2 with MissedBeats=1: the server still looks alive at
+	// epoch 2 (its epoch-1 beat is within budget), its dispatch times out,
+	// and the silence is detected at epoch 3. The restart at epoch 6
+	// registers synchronously, so epoch 6 already runs on 3 servers.
+	byEpoch := map[int]runtime.EpochReport{}
+	for _, r := range trace.Reports {
+		byEpoch[r.Epoch] = r
+	}
+	if got := byEpoch[3].HealthyServers; got != servers-1 {
+		t.Fatalf("epoch 3 healthy = %d, want %d", got, servers-1)
+	}
+	if !byEpoch[3].Replanned || byEpoch[3].FaultEvents == 0 {
+		t.Fatalf("detection epoch did not force a replan: %+v", byEpoch[3])
+	}
+	if got := byEpoch[6].HealthyServers; got != servers {
+		t.Fatalf("epoch 6 healthy = %d, want %d", got, servers)
+	}
+	if byEpoch[6].FaultEvents == 0 {
+		t.Fatalf("recovery epoch carries no fault event: %+v", byEpoch[6])
+	}
+	if v := reg.Counter("ctlplane_eval_timeouts_total").Value(); v == 0 {
+		t.Fatal("killed agent's dispatch never timed out")
+	}
+	// Strict-audit cleanliness is the run completing: every installed
+	// decision passed the exact verifier (a strict violation aborts Run).
+	// Outage epochs do record relaxed model-error violations (drifted
+	// const1, fault-broken zero-jitter claims) — those are metric-only by
+	// design, identically to the in-process injector-driven runs.
+	if v := reg.Counter("check_checks_decision").Value(); v == 0 {
+		t.Fatal("strict decision audits never ran")
+	}
+}
+
+// TestIncarnationFencing pins the fencing rules at the HTTP layer: a
+// re-register bumps the incarnation and every message carrying the old one
+// is rejected with 409, idempotently.
+func TestIncarnationFencing(t *testing.T) {
+	rt := newRuntime(testSystem(2, 2), obs.NewRecorder(nil), false)
+	ctl := New(rt, Options{})
+	cl := LoopbackClient(ctl, 1)
+	ctx := context.Background()
+
+	var r1, r2 RegisterResponse
+	if err := cl.call(ctx, "/v1/register", RegisterRequest{Server: 0}, &r1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.call(ctx, "/v1/register", RegisterRequest{Server: 0}, &r2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Incarnation <= r1.Incarnation {
+		t.Fatalf("incarnation did not advance: %d then %d", r1.Incarnation, r2.Incarnation)
+	}
+
+	// The predecessor is fenced out of every endpoint.
+	for _, path := range []string{"/v1/poll", "/v1/result", "/v1/heartbeat"} {
+		var req any
+		switch path {
+		case "/v1/poll":
+			req = PollRequest{Server: 0, Incarnation: r1.Incarnation, WaitMS: 1}
+		case "/v1/result":
+			req = ResultRequest{Server: 0, Incarnation: r1.Incarnation, Epoch: 0, Version: 1}
+		case "/v1/heartbeat":
+			req = HeartbeatRequest{Server: 0, Incarnation: r1.Incarnation}
+		}
+		err := cl.call(ctx, path, req, nil, 0)
+		if !strings.Contains(fmt.Sprint(err), "fenced") {
+			t.Fatalf("%s with stale incarnation: err = %v, want fenced", path, err)
+		}
+	}
+	if v := ctl.rec.Registry().Counter("ctlplane_stale_incarnations_total").Value(); v != 3 {
+		t.Fatalf("stale_incarnations_total = %d, want 3", v)
+	}
+	// The successor is not.
+	if err := cl.call(ctx, "/v1/heartbeat", HeartbeatRequest{Server: 0, Incarnation: r2.Incarnation}, &HeartbeatResponse{}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultVersionFencing pins duplicate/stale result rejection: only the
+// result matching the pending item's (epoch, version) is accepted; a
+// replayed or mismatched one bounces with 409 and a metric.
+func TestResultVersionFencing(t *testing.T) {
+	rt := newRuntime(testSystem(2, 2), obs.NewRecorder(nil), false)
+	ctl := New(rt, Options{EvalTimeout: 5 * time.Second})
+	cl := LoopbackClient(ctl, 1)
+	ctx := context.Background()
+
+	var rr RegisterResponse
+	if err := cl.call(ctx, "/v1/register", RegisterRequest{Server: 1}, &rr, 0); err != nil {
+		t.Fatal(err)
+	}
+	type evalOut struct {
+		res runtime.ServerEvalResult
+		err error
+	}
+	done := make(chan evalOut, 1)
+	go func() {
+		res, err := ctl.EvaluateServer(ctx, 0, 1,
+			[]cluster.StreamSpec{{Period: 0.1, Proc: 0.01, Bits: 1e5}},
+			cluster.Server{Uplink: 1e7}, 5)
+		done <- evalOut{res, err}
+	}()
+
+	var pr PollResponse
+	for {
+		if err := cl.call(ctx, "/v1/poll", PollRequest{Server: 1, Incarnation: rr.Incarnation, WaitMS: 200}, &pr, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !pr.NoWork {
+			break
+		}
+	}
+	if pr.Version == 0 || len(pr.Specs) != 1 {
+		t.Fatalf("poll returned %+v", pr)
+	}
+
+	// Wrong version first: fenced, pending work untouched.
+	bad := ResultRequest{Server: 1, Incarnation: rr.Incarnation, Epoch: pr.Epoch, Version: pr.Version + 7,
+		Result: runtime.ServerEvalResult{Frames: 1}}
+	if err := cl.call(ctx, "/v1/result", bad, nil, 0); !strings.Contains(fmt.Sprint(err), "fenced") {
+		t.Fatalf("mismatched version accepted: %v", err)
+	}
+
+	good := ResultRequest{Server: 1, Incarnation: rr.Incarnation, Epoch: pr.Epoch, Version: pr.Version,
+		Result: runtime.ServerEvalResult{LatSum: 1.5, Frames: 3, MaxJitter: 0.25}}
+	if err := cl.call(ctx, "/v1/result", good, &ResultResponse{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !reflect.DeepEqual(out.res, good.Result) {
+		t.Fatalf("evaluator got %+v, want %+v", out.res, good.Result)
+	}
+
+	// Replay after acceptance: fenced again (idempotent duplicate).
+	if err := cl.call(ctx, "/v1/result", good, nil, 0); !strings.Contains(fmt.Sprint(err), "fenced") {
+		t.Fatalf("duplicate result accepted: %v", err)
+	}
+	if v := ctl.rec.Registry().Counter("ctlplane_stale_results_total").Value(); v != 2 {
+		t.Fatalf("stale_results_total = %d, want 2", v)
+	}
+}
+
+// TestEvalTimeoutClearsPending pins the controller side of abandonment: a
+// dispatch nobody serves times out, scores the server as absent, and
+// clears the pending item so a late poll cannot resurrect it.
+func TestEvalTimeoutClearsPending(t *testing.T) {
+	rt := newRuntime(testSystem(2, 2), obs.NewRecorder(nil), false)
+	ctl := New(rt, Options{EvalTimeout: 30 * time.Millisecond})
+	_, err := ctl.EvaluateServer(context.Background(), 0, 0, nil, cluster.Server{Uplink: 1e7}, 5)
+	if err == nil {
+		t.Fatal("unserved dispatch did not time out")
+	}
+	ctl.mu.Lock()
+	pending := ctl.agents[0].pending
+	ctl.mu.Unlock()
+	if pending != nil {
+		t.Fatal("timed-out work item left pending")
+	}
+	if v := ctl.rec.Registry().Counter("ctlplane_eval_timeouts_total").Value(); v != 1 {
+		t.Fatalf("eval_timeouts_total = %d", v)
+	}
+}
+
+// TestStreamChurnOverWire registers a new video and deregisters an old one
+// over HTTP mid-run; the loop must apply both at the epoch boundary,
+// rebuild the normalizer, and force a full replan that covers the new set.
+func TestStreamChurnOverWire(t *testing.T) {
+	const videos, servers, epochs = 4, 2, 6
+	rt := newRuntime(testSystem(videos, servers), obs.NewRecorder(nil), true)
+	ctl := New(rt, Options{})
+	cl := LoopbackClient(ctl, 9)
+	fleet := NewHollowFleet(ctl, servers)
+	if err := fleet.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	// Ops queued before Run would drain at epoch 0; queue mid-run from the
+	// OnEpoch hook instead so the churn hits a known boundary.
+	var churned bool
+	ctl.OnEpoch(func(epoch int) {
+		if epoch == 3 && !churned {
+			churned = true
+			var resp StreamOpResponse
+			if err := cl.call(context.Background(), "/v1/streams/register",
+				StreamRegisterRequest{Clip: ClipSpec{Name: "cam-new", AccBase: 0.9, AccFactor: 1, ComputeFac: 1, BitFac: 1, EnergyFac: 1}}, &resp, 0); err != nil {
+				t.Errorf("stream register: %v", err)
+			}
+			if err := cl.call(context.Background(), "/v1/streams/deregister",
+				StreamDeregisterRequest{Name: "cam0"}, &resp, 0); err != nil {
+				t.Errorf("stream deregister: %v", err)
+			}
+		}
+	})
+	trace, err := ctl.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ops queued at epoch 3's hook are drained at epoch 4's boundary.
+	byEpoch := map[int]runtime.EpochReport{}
+	for _, r := range trace.Reports {
+		byEpoch[r.Epoch] = r
+	}
+	if !byEpoch[4].Replanned {
+		t.Fatalf("churn epoch not replanned: %+v", byEpoch[4])
+	}
+	if rt.Sys.M() != videos {
+		t.Fatalf("system has %d videos after +1/-1 churn, want %d", rt.Sys.M(), videos)
+	}
+	names := make([]string, 0, rt.Sys.M())
+	for _, c := range rt.Sys.Clips {
+		names = append(names, c.Name)
+	}
+	if !strings.Contains(strings.Join(names, ","), "cam-new") || strings.Contains(strings.Join(names, ","), "cam0,") {
+		t.Fatalf("clip set after churn: %v", names)
+	}
+	if v := ctl.rec.Registry().Counter("runtime_churn_ops_total").Value(); v != 2 {
+		t.Fatalf("churn_ops_total = %d, want 2", v)
+	}
+}
+
+// TestBackoffDeterministicJitter pins the client backoff: doubling capped
+// at Max, jitter within ±20%, bit-identical across runs with the same
+// seed, different across seeds.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Seed: 42}
+	plain := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, NoJitter: true}
+	for attempt := 0; attempt < 8; attempt++ {
+		base := plain.Delay(attempt)
+		got := b.Delay(attempt)
+		if got != b.Delay(attempt) {
+			t.Fatalf("attempt %d: jittered delay not deterministic", attempt)
+		}
+		lo, hi := time.Duration(float64(base)*0.8), time.Duration(float64(base)*1.2)
+		if got < lo || got >= hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, got, lo, hi)
+		}
+	}
+	if plain.Delay(10) != 2*time.Second {
+		t.Fatalf("cap not applied: %v", plain.Delay(10))
+	}
+	other := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Seed: 43}
+	same := 0
+	for attempt := 0; attempt < 8; attempt++ {
+		if b.Delay(attempt) == other.Delay(attempt) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+// TestClientRetriesTransportErrors pins the wire client's retry loop: a
+// transport that fails twice then succeeds is retried under backoff; a
+// fenced response is surfaced immediately, never retried.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	fails := 2
+	calls := 0
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if r.URL.Path == "/v1/fenced" {
+			http.Error(w, "stale incarnation", http.StatusConflict)
+			return
+		}
+		if fails > 0 {
+			fails--
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, HeartbeatResponse{Epoch: 7})
+	})
+	cl := &Client{
+		BaseURL: "http://test.local",
+		HTTP:    &http.Client{Transport: &loopbackTransport{h: h}},
+		Backoff: Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Seed: 1},
+	}
+	var hb HeartbeatResponse
+	if err := cl.call(context.Background(), "/v1/x", struct{}{}, &hb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Epoch != 7 || calls != 3 {
+		t.Fatalf("epoch=%d calls=%d", hb.Epoch, calls)
+	}
+	calls = 0
+	err := cl.call(context.Background(), "/v1/fenced", struct{}{}, nil, 0)
+	if !strings.Contains(fmt.Sprint(err), "fenced") || calls != 1 {
+		t.Fatalf("fenced call: err=%v calls=%d (must not retry)", err, calls)
+	}
+}

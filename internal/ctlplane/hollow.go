@@ -1,0 +1,226 @@
+package ctlplane
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Hollow-agent mode (kubemark-style): thousands of real Agent loops in one
+// process, talking to the controller through an in-process loopback
+// RoundTripper instead of TCP. Every agent runs the full wire protocol —
+// register, fenced polls, DES evaluation, fenced results — so the only
+// thing hollow about them is the socket. No file descriptors are consumed,
+// which is what lets a 1k+-server fleet fit in a unit test.
+
+// loopbackTransport serves every request directly against an http.Handler.
+// The request context flows into the handler, so client-side timeouts
+// cancel parked long-polls exactly as they would over a real connection.
+type loopbackTransport struct {
+	h http.Handler
+}
+
+// memResponse is the minimal in-memory http.ResponseWriter.
+type memResponse struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func (m *memResponse) Header() http.Header { return m.header }
+func (m *memResponse) Write(p []byte) (int, error) {
+	if m.status == 0 {
+		m.status = http.StatusOK
+	}
+	return m.buf.Write(p)
+}
+func (m *memResponse) WriteHeader(status int) {
+	if m.status == 0 {
+		m.status = status
+	}
+}
+
+func (t *loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	w := &memResponse{header: make(http.Header)}
+	t.h.ServeHTTP(w, req)
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	if err := req.Context().Err(); err != nil {
+		// The handler returned because the request was cancelled (a parked
+		// poll whose agent died): surface the cancellation, not a bogus
+		// empty 200.
+		return nil, err
+	}
+	status := w.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode: status,
+		Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Header:     w.header,
+		Body:       io.NopCloser(bytes.NewReader(w.buf.Bytes())),
+		Request:    req,
+	}, nil
+}
+
+// LoopbackClient returns a wire client whose transport serves requests
+// in-process against the controller's handler.
+func LoopbackClient(c *Controller, seed uint64) *Client {
+	return &Client{
+		BaseURL: "http://ctlplane.local",
+		HTTP:    &http.Client{Transport: &loopbackTransport{h: c.Handler()}},
+		Backoff: Backoff{Seed: seed},
+	}
+}
+
+// hollowAgent is one running hollow agent: its loop goroutine, its cancel
+// handle, and the signals the fleet synchronizes on.
+type hollowAgent struct {
+	cancel     context.CancelFunc
+	done       chan struct{}
+	registered chan struct{}
+}
+
+// HollowFleet runs one hollow Agent per physical server against a
+// controller. Kill and Restart are synchronous — Kill returns after the
+// agent's goroutine has exited, Restart after the successor has registered
+// — so a chaos script applied from the controller's OnEpoch hook yields a
+// reproducible health trajectory.
+type HollowFleet struct {
+	c    *Controller
+	ctx  context.Context
+	stop context.CancelFunc
+
+	mu     sync.Mutex
+	agents []*hollowAgent
+}
+
+// NewHollowFleet sizes a fleet of n hollow agents (one per server index).
+// Call StartAll to launch them.
+func NewHollowFleet(c *Controller, n int) *HollowFleet {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &HollowFleet{c: c, ctx: ctx, stop: cancel, agents: make([]*hollowAgent, n)}
+}
+
+// StartAll launches every agent and blocks until all have registered.
+func (f *HollowFleet) StartAll() error {
+	f.mu.Lock()
+	n := len(f.agents)
+	f.mu.Unlock()
+	for j := 0; j < n; j++ {
+		if err := f.start(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// start launches (or relaunches) server j's agent and waits for it to
+// register.
+func (f *HollowFleet) start(j int) error {
+	ctx, cancel := context.WithCancel(f.ctx)
+	ha := &hollowAgent{
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		registered: make(chan struct{}),
+	}
+	agent := &Agent{
+		Server: j,
+		Name:   fmt.Sprintf("hollow-%d", j),
+		Client: LoopbackClient(f.c, uint64(j)+1),
+		OnRegistered: func(uint64) {
+			close(ha.registered)
+		},
+	}
+	f.mu.Lock()
+	f.agents[j] = ha
+	f.mu.Unlock()
+	go func() {
+		defer close(ha.done)
+		_ = agent.Run(ctx)
+	}()
+	select {
+	case <-ha.registered:
+		return nil
+	case <-ha.done:
+		return fmt.Errorf("ctlplane: hollow agent %d exited before registering", j)
+	case <-time.After(30 * time.Second):
+		cancel()
+		return fmt.Errorf("ctlplane: hollow agent %d did not register in time", j)
+	}
+}
+
+// Kill stops server j's agent and waits for its goroutine to exit. The
+// controller is not told: it must notice the silence through missed beats.
+func (f *HollowFleet) Kill(j int) {
+	f.mu.Lock()
+	ha := f.agents[j]
+	f.mu.Unlock()
+	if ha == nil {
+		return
+	}
+	ha.cancel()
+	<-ha.done
+}
+
+// Restart launches a fresh agent for server j (a new incarnation) and
+// waits for it to register.
+func (f *HollowFleet) Restart(j int) error {
+	f.Kill(j)
+	return f.start(j)
+}
+
+// Close kills the whole fleet and waits for every goroutine.
+func (f *HollowFleet) Close() {
+	f.stop()
+	f.mu.Lock()
+	agents := append([]*hollowAgent(nil), f.agents...)
+	f.mu.Unlock()
+	for _, ha := range agents {
+		if ha != nil {
+			<-ha.done
+		}
+	}
+}
+
+// ChaosDriver acts out the liveness half of a fault scenario against a
+// hollow fleet: server_down kills the agent process, server_up restarts
+// it. Wire it to Options.OnEpoch; events fire synchronously at their
+// epoch's boundary, before liveness inference, so the controller's
+// detection runs against a settled fleet state.
+type ChaosDriver struct {
+	Fleet  *HollowFleet
+	Events []fault.Event // liveness events only (fault.Scenario.Split)
+	next   int
+}
+
+// NewChaosDriver orders the scenario's liveness events for replay.
+func NewChaosDriver(fleet *HollowFleet, sc *fault.Scenario) *ChaosDriver {
+	liveness, _ := sc.Split()
+	return &ChaosDriver{Fleet: fleet, Events: liveness.Events}
+}
+
+// OnEpoch applies every not-yet-applied event at or before epoch.
+func (d *ChaosDriver) OnEpoch(epoch int) {
+	for d.next < len(d.Events) && d.Events[d.next].Epoch <= epoch {
+		e := d.Events[d.next]
+		d.next++
+		switch e.Action {
+		case fault.ServerDown:
+			d.Fleet.Kill(e.Target)
+		case fault.ServerUp:
+			_ = d.Fleet.Restart(e.Target)
+		}
+	}
+}

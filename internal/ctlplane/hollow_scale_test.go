@@ -1,0 +1,100 @@
+package ctlplane
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// TestHollowFleet1024Chaos is the acceptance-scale chaos run: 1024 hollow
+// agents over the loopback transport, a fault scenario killing four agents
+// mid-run and restarting two, the controller inferring every outage from
+// missed heartbeats alone — and the whole trajectory audited by the strict
+// checker (a single violation aborts the run). Under -short or the race
+// detector the fleet shrinks (128/256 agents) so those runs stay fast; the
+// plain `go test` run exercises the full 1024.
+func TestHollowFleet1024Chaos(t *testing.T) {
+	servers := 1024
+	if raceDetectorOn {
+		servers = 256
+	}
+	if testing.Short() {
+		servers = 128
+	}
+	const videos, epochs = 32, 6
+	sc := &fault.Scenario{Name: "chaos-1k", Events: []fault.Event{
+		{Epoch: 2, Action: fault.ServerDown, Target: 3},
+		{Epoch: 2, Action: fault.ServerDown, Target: 17},
+		{Epoch: 2, Action: fault.ServerDown, Target: 64},
+		{Epoch: 2, Action: fault.ServerDown, Target: 100},
+		{Epoch: 4, Action: fault.ServerUp, Target: 3},
+		{Epoch: 4, Action: fault.ServerUp, Target: 64},
+	}}
+
+	rt := newRuntime(testSystem(videos, servers), obs.NewRecorder(nil), true)
+	ctl := New(rt, Options{
+		MissedBeats: 1,
+		EvalTimeout: 2 * time.Second,
+	})
+	fleet := NewHollowFleet(ctl, servers)
+	chaos := NewChaosDriver(fleet, sc)
+	ctl.OnEpoch(chaos.OnEpoch)
+	if err := fleet.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	trace, err := ctl.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Reports) != epochs {
+		t.Fatalf("run truncated: %d/%d epochs", len(trace.Reports), epochs)
+	}
+
+	reg := ctl.rec.Registry()
+	marksDown := reg.Counter("ctlplane_marks_down_total").Value()
+	marksUp := reg.Counter("ctlplane_marks_up_total").Value()
+	if marksDown != 4 {
+		t.Fatalf("marks_down_total = %d, want 4", marksDown)
+	}
+	if marksUp != 2 {
+		t.Fatalf("marks_up_total = %d, want 2", marksUp)
+	}
+	// Detection must drive the replan path: the epoch the outages are
+	// noticed carries fault events and a forced replan, and the fleet's
+	// healthy count dips by exactly the four killed servers before the two
+	// restarts bring it back.
+	minHealthy, finalHealthy := servers, 0
+	sawDetectionReplan := false
+	for _, r := range trace.Reports {
+		if r.HealthyServers < minHealthy {
+			minHealthy = r.HealthyServers
+		}
+		finalHealthy = r.HealthyServers
+		if r.FaultEvents > 0 && r.Replanned {
+			sawDetectionReplan = true
+		}
+	}
+	if minHealthy != servers-4 {
+		t.Fatalf("min healthy = %d, want %d", minHealthy, servers-4)
+	}
+	if finalHealthy != servers-2 {
+		t.Fatalf("final healthy = %d, want %d", finalHealthy, servers-2)
+	}
+	if !sawDetectionReplan {
+		t.Fatal("no epoch combined inferred fault events with a replan")
+	}
+	// Zero strict violations is proven by completion: the strict checker
+	// aborts Run on the first install-time violation. Relaxed model-error
+	// audits (drift, faults) record metrics only, as in-process runs do.
+	if v := reg.Counter("check_checks_decision").Value(); v == 0 {
+		t.Fatal("strict decision audits never ran")
+	}
+	if v := reg.Counter("ctlplane_results_total").Value(); v == 0 {
+		t.Fatal("no wire results recorded")
+	}
+}

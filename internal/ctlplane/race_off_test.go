@@ -1,0 +1,8 @@
+//go:build !race
+
+package ctlplane
+
+// raceDetectorOn reports whether this test binary runs under the race
+// detector; the hollow-fleet scale test shrinks accordingly (race
+// instrumentation multiplies the cost of a 1k-goroutine fleet).
+const raceDetectorOn = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package ctlplane
+
+// raceDetectorOn: see race_off_test.go.
+const raceDetectorOn = true

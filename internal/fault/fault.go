@@ -90,14 +90,40 @@ func (s *Scenario) Validate(servers, cameras int) error {
 	return nil
 }
 
-// Load parses a scenario from JSON.
+// Load parses a scenario from JSON. It rejects trailing data after the
+// scenario object — the chaos harness feeds scripts from the command line
+// and CI, where a concatenated or truncated file must fail loudly, not
+// load its first half.
 func Load(r io.Reader) (*Scenario, error) {
 	var s Scenario
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("fault: parsing scenario: %w", err)
 	}
+	if dec.More() {
+		return nil, fmt.Errorf("fault: parsing scenario: trailing data after scenario object")
+	}
 	return &s, nil
+}
+
+// Split partitions a scenario into the part the distributed control plane
+// must act out as real process failures (server crash/recovery → hollow
+// agents killed and restarted, so the controller has to *infer* them from
+// missed heartbeats) and the part that stays environmental (camera stalls,
+// link degradation — observable state the controller merges from an
+// injector as before). Event order within each half is preserved.
+func (s *Scenario) Split() (liveness, env *Scenario) {
+	liveness = &Scenario{Name: s.Name + "-liveness"}
+	env = &Scenario{Name: s.Name + "-env"}
+	for _, e := range s.Events {
+		switch e.Action {
+		case ServerDown, ServerUp:
+			liveness.Events = append(liveness.Events, e)
+		default:
+			env.Events = append(env.Events, e)
+		}
+	}
+	return liveness, env
 }
 
 // LoadFile parses a scenario from a JSON file.

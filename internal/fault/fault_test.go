@@ -200,3 +200,50 @@ func TestGenerateValidAndNeverKillsLastServer(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadRejectsTrailingData(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"name":"a"}{"name":"b"}`)); err == nil {
+		t.Fatal("trailing scenario object accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"name":"a"} 42`)); err == nil {
+		t.Fatal("trailing literal accepted")
+	}
+	if sc, err := Load(strings.NewReader("{\"name\":\"a\",\"events\":[]}\n  \n")); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	} else if sc.Name != "a" {
+		t.Fatalf("name = %q", sc.Name)
+	}
+}
+
+func TestScenarioSplit(t *testing.T) {
+	sc := &Scenario{Name: "mix", Events: []Event{
+		{Epoch: 0, Action: LinkDegrade, Target: 0, Factor: 0.5},
+		{Epoch: 1, Action: ServerDown, Target: 1},
+		{Epoch: 2, Action: CameraStall, Target: 2},
+		{Epoch: 3, Action: ServerUp, Target: 1},
+		{Epoch: 4, Action: LinkRestore, Target: 0},
+	}}
+	liveness, env := sc.Split()
+	wantLive := []Event{
+		{Epoch: 1, Action: ServerDown, Target: 1},
+		{Epoch: 3, Action: ServerUp, Target: 1},
+	}
+	wantEnv := []Event{
+		{Epoch: 0, Action: LinkDegrade, Target: 0, Factor: 0.5},
+		{Epoch: 2, Action: CameraStall, Target: 2},
+		{Epoch: 4, Action: LinkRestore, Target: 0},
+	}
+	if !reflect.DeepEqual(liveness.Events, wantLive) {
+		t.Fatalf("liveness events = %+v", liveness.Events)
+	}
+	if !reflect.DeepEqual(env.Events, wantEnv) {
+		t.Fatalf("env events = %+v", env.Events)
+	}
+	if liveness.Name != "mix-liveness" || env.Name != "mix-env" {
+		t.Fatalf("names = %q, %q", liveness.Name, env.Name)
+	}
+	// The original scenario is untouched and the halves cover it exactly.
+	if len(liveness.Events)+len(env.Events) != len(sc.Events) {
+		t.Fatal("split dropped or duplicated events")
+	}
+}

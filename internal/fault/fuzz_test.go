@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioJSON hammers the scenario parser with arbitrary bytes: the
+// chaos harness feeds scripts from the command line and CI, so Load must
+// reject malformed input with an error — never panic, never silently
+// accept garbage. For inputs that do parse and validate, the fuzzer closes
+// the round-trip loop: Save∘Load must be the identity, and re-parsing the
+// saved form must validate against the same shape.
+func FuzzScenarioJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"x","events":[{"epoch":1,"action":"server_down","target":0}]}`))
+	f.Add([]byte(`{"name":"deg","events":[{"epoch":0,"action":"link_degrade","target":1,"factor":0.5}]}`))
+	f.Add([]byte(`{"name":"empty","events":[]}`))
+	f.Add([]byte(`{"name":"trailing"}{"name":"second"}`))
+	f.Add([]byte(`{"name":"bad","events":[{"epoch":-1,"action":"server_down","target":0}]}`))
+	f.Add([]byte(`{"events":[{"action":"nonsense","target":99}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — the property is "no panic"
+		}
+		if sc == nil {
+			t.Fatal("Load returned nil scenario with nil error")
+		}
+		// Only shape-valid scenarios continue to the round-trip: Validate
+		// itself must not panic on whatever parsed.
+		if sc.Validate(4, 4) != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := sc.Save(&buf); err != nil {
+			t.Fatalf("Save of parsed scenario: %v", err)
+		}
+		back, err := Load(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-Load of saved scenario: %v\nsaved: %s", err, buf.String())
+		}
+		if back.Name != sc.Name || !reflect.DeepEqual(back.Events, sc.Events) {
+			t.Fatalf("round-trip drift:\n got %+v\nwant %+v", back, sc)
+		}
+		if err := back.Validate(4, 4); err != nil {
+			t.Fatalf("round-tripped scenario no longer validates: %v", err)
+		}
+	})
+}

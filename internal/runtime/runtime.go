@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/shard"
+	"repro/internal/stats"
 	"repro/internal/videosim"
 )
 
@@ -52,6 +53,59 @@ type Scheduler interface {
 type MaskAware interface {
 	Scheduler
 	DecideMasked(ctx context.Context, sys *objective.System, healthy []bool, epoch int) (eva.Decision, error)
+}
+
+// HealthSource is where the control loop learns the cluster's condition at
+// each epoch boundary: Advance applies (or infers) this epoch's topology
+// changes and returns them as fault events, State reports the resulting
+// cluster view. *fault.Injector satisfies it directly — that is the scripted
+// oracle the in-process loop uses — while the distributed control plane
+// substitutes heartbeat-inferred liveness (internal/ctlplane), so the same
+// replan/degradation machinery runs whether faults are known or deduced.
+type HealthSource interface {
+	Advance(epoch int) []fault.Event
+	State() fault.State
+}
+
+// ServerEvalResult is one server's contribution to an epoch evaluation: the
+// per-frame latency sum and frame count of its simulated (or measured)
+// workload, plus its worst inter-frame jitter. The controller merges these
+// exactly as it merges its own in-process DES results, so a remote evaluator
+// returning bit-identical numbers yields a bit-identical trace.
+type ServerEvalResult struct {
+	LatSum    float64
+	Frames    int
+	MaxJitter float64
+}
+
+// ServerEvaluator runs one server's epoch evaluation somewhere else — over
+// the wire on an edge agent, in the distributed control plane. The specs
+// slice is only valid for the duration of the call; implementations that
+// retain it (to serialize later) must copy. An error means the server
+// produced no measurement this epoch: the controller records an eval
+// failure and scores the server as contributing nothing, the same as a
+// crashed server.
+type ServerEvaluator interface {
+	EvaluateServer(ctx context.Context, epoch, server int, specs []cluster.StreamSpec, srv cluster.Server, horizon float64) (ServerEvalResult, error)
+}
+
+// StreamOp is one stream registration or deregistration, applied at an
+// epoch boundary before that epoch's replan. Add appends a new video source
+// to the system; Remove drops the clip with the given name. Either way the
+// controller invalidates the running decision and forces a full replan —
+// the decision's per-video shapes no longer match the system.
+type StreamOp struct {
+	Add    *videosim.Clip
+	Remove string
+}
+
+// OpSource feeds stream churn into the control loop: Drain is called once
+// per epoch, before fault advancement and replanning, and returns the ops
+// to apply this epoch. After applying ops the controller rebuilds its
+// normalizer with objective.NewNormalizer, so benefit values are comparable
+// only within a fixed stream set.
+type OpSource interface {
+	Drain(epoch int) []StreamOp
 }
 
 // SchedulerFunc adapts a function to the Scheduler interface.
@@ -133,6 +187,17 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry, doubling per
 	// subsequent retry (default 10ms).
 	RetryBackoff time.Duration
+	// BackoffJitter spreads each retry delay by a deterministic ±20%
+	// multiplicative factor derived from (BackoffSeed, epoch, try) — pure
+	// doubling synchronizes retry storms across concurrent deciders that
+	// fail together, jitter decorrelates them without giving up
+	// reproducibility. Off by default so existing traces stay byte-exact;
+	// the wire client (internal/ctlplane) runs its transport backoff
+	// jittered by default.
+	BackoffJitter bool
+	// BackoffSeed decorrelates the jitter streams of concurrent deciders;
+	// any per-controller value works (0 is fine for a single controller).
+	BackoffSeed uint64
 	// Incremental enables the amortized replan fast path: when the running
 	// decision is a full-capacity zero-jitter plan, a replan epoch first
 	// tries to keep its configurations and grouping and re-solve only the
@@ -171,6 +236,21 @@ type Controller struct {
 	// decisions are planned around down servers, stalled cameras produce
 	// no frames, and degraded links shrink the drifted system's uplinks.
 	Faults *fault.Injector
+	// Health, when non-nil, replaces Faults as the loop's view of cluster
+	// condition. Where Faults is a scripted oracle, Health may be inferred —
+	// the distributed control plane plugs in heartbeat-based liveness here —
+	// and the loop cannot tell the difference: the same forced-replan and
+	// degradation machinery runs either way.
+	Health HealthSource
+	// Eval, when non-nil, delegates each healthy server's epoch evaluation
+	// instead of simulating it in-process: the distributed control plane
+	// dispatches the server's stream specs to its edge agent and merges the
+	// returned measurements. A nil Eval keeps the in-process DES.
+	Eval ServerEvaluator
+	// Ops, when non-nil, feeds stream register/deregister churn into the
+	// loop at epoch boundaries; any applied op invalidates the running
+	// decision and forces a full replan.
+	Ops OpSource
 	// Obs, when non-nil, receives one "epoch" event per epoch (benefit,
 	// jitter, drift magnitude, replan cause), a "replan" span around every
 	// scheduler invocation, "fault_*" and "degraded" events, per-server DES
@@ -217,6 +297,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 	benefitGauge := reg.Gauge("runtime_benefit")
 	driftGauge := reg.Gauge("runtime_drift")
 	jitterHist := reg.Histogram("runtime_epoch_jitter_seconds", obs.DefBuckets)
+	churnOps := reg.Counter("runtime_churn_ops_total")
 	faultEventsTotal := reg.Counter("fault_events_total")
 	serversDownGauge := reg.Gauge("fault_servers_down")
 	camerasStalledGauge := reg.Gauge("fault_cameras_stalled")
@@ -243,9 +324,27 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		// un-emitted, which is fine — an aborted epoch has no duration.
 		ectx, esp := c.Obs.StartSpanCtx(ctx, "epoch", obs.F("epoch", float64(epoch)))
 
-		// Apply this epoch's scripted faults and read the cluster state.
-		events := c.Faults.Advance(epoch)
-		st := c.Faults.State()
+		// Stream churn first: register/deregister ops change the system the
+		// rest of the epoch (fault masks, replan, evaluation) must see.
+		if c.Ops != nil {
+			if ops := c.Ops.Drain(epoch); len(ops) > 0 {
+				c.applyStreamOps(ops)
+				n = c.Sys.N()
+				haveDecision = false
+				rp.Invalidate()
+				churnOps.Add(uint64(len(ops)))
+				c.Obs.EventCtx(ectx, "stream_churn",
+					obs.F("epoch", float64(epoch)),
+					obs.F("ops", float64(len(ops))),
+					obs.F("videos", float64(c.Sys.M())))
+			}
+		}
+
+		// Apply this epoch's faults — scripted by the injector oracle, or
+		// inferred by the health source — and read the cluster state.
+		hs := c.healthSource()
+		events := hs.Advance(epoch)
+		st := hs.State()
 		healthy := st.Healthy() // nil = no injector / all up
 		stalledCams := st.StalledCameras()
 		nHealthy := n
@@ -260,7 +359,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 				obs.F("target", float64(e.Target)),
 				obs.F("factor", e.Factor))
 		}
-		if c.Faults != nil {
+		if st.Down != nil {
 			serversDownGauge.Set(float64(n - nHealthy))
 			camerasStalledGauge.Set(float64(len(stalledCams)))
 			linksDegradedGauge.Set(countDegradedLinks(st.LinkScale))
@@ -377,7 +476,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		}
 		degradedStreams.Set(float64(len(current.Shed) + len(current.Downgraded)))
 
-		out, jitter := c.evaluateParallel(ectx, drifted, current, opt.Workers, healthy, st.Stalled)
+		out, jitter := c.evaluateParallel(ectx, epoch, drifted, current, opt.Workers, healthy, st.Stalled)
 		if ctx.Err() != nil {
 			return trace, ctx.Err()
 		}
@@ -479,8 +578,12 @@ func (c *Controller) decide(ctx context.Context, sys *objective.System, healthy 
 	for try := 0; try <= retries; try++ {
 		if try > 0 {
 			retryCounter.Inc()
+			delay := backoff
+			if opt.BackoffJitter {
+				delay = backoffWithJitter(backoff, opt.BackoffSeed, epoch, try)
+			}
 			select {
-			case <-time.After(backoff):
+			case <-time.After(delay):
 			case <-ctx.Done():
 				return eva.Decision{}, attempts, agg, ctx.Err()
 			}
@@ -584,11 +687,62 @@ func (c *Controller) decideOnce(ctx context.Context, sys *objective.System, heal
 		}
 		return r.d, r.stats, r.err
 	case <-dctx.Done():
+		// The attempt's goroutine is abandoned from here: it keeps running
+		// until the scheduler notices cancellation (or finishes), but its
+		// result goes into the buffered channel nobody reads again — it can
+		// never install a decision. Count the abandonment; the timeout
+		// counter stays gated on the parent context so a cancelled run is
+		// not misread as a hung scheduler.
+		c.Obs.Registry().Counter("runtime_decide_abandoned_total").Inc()
 		if ctx.Err() == nil {
 			c.Obs.Registry().Counter("runtime_decide_timeouts_total").Inc()
 		}
 		return eva.Decision{}, shard.Stats{}, dctx.Err()
 	}
+}
+
+// healthSource resolves the loop's cluster-condition feed: an explicit
+// Health source wins, otherwise the fault injector oracle (whose methods
+// are nil-safe, so a fault-free controller needs neither).
+func (c *Controller) healthSource() HealthSource {
+	if c.Health != nil {
+		return c.Health
+	}
+	return c.Faults
+}
+
+// applyStreamOps rebuilds the controller's system for this epoch's stream
+// churn: removals drop clips by name, additions append. The clip slice is
+// copied (callers may hold the old system) and the benefit normalizer is
+// rebuilt — benefit values are comparable only within a fixed stream set.
+func (c *Controller) applyStreamOps(ops []StreamOp) {
+	clips := append([]*videosim.Clip(nil), c.Sys.Clips...)
+	for _, op := range ops {
+		if op.Remove != "" {
+			for i, clip := range clips {
+				if clip.Name == op.Remove {
+					clips = append(clips[:i], clips[i+1:]...)
+					break
+				}
+			}
+		}
+		if op.Add != nil {
+			clips = append(clips, op.Add)
+		}
+	}
+	c.Sys = &objective.System{Clips: clips, Servers: c.Sys.Servers}
+	c.Norm = objective.NewNormalizer(c.Sys)
+}
+
+// backoffWithJitter spreads a retry delay by a deterministic ±20%
+// multiplicative factor. The factor is drawn from a SplitMix64 stream keyed
+// on (seed, epoch, try), so concurrent deciders with distinct seeds
+// desynchronize while any single run stays exactly reproducible.
+func backoffWithJitter(d time.Duration, seed uint64, epoch, try int) time.Duration {
+	u := stats.SplitMix64(seed ^ uint64(epoch)*0x9E3779B97F4A7C15 ^ uint64(try))
+	// Top 53 bits → uniform in [0,1); map into [0.8, 1.2).
+	f := 0.8 + 0.4*float64(u>>11)/(1<<53)
+	return time.Duration(float64(d) * f)
 }
 
 // maskTrivial reports whether the liveness mask imposes no restriction.
@@ -740,15 +894,19 @@ func (c *Controller) driftedSystem(epoch int) *objective.System {
 // results. Shed videos and stalled cameras contribute nothing; a
 // cancelled ctx makes remaining workers return without simulating, so a
 // mid-epoch cancellation does not wait out every server.
-func (c *Controller) evaluateParallel(ctx context.Context, sys *objective.System, d eva.Decision, workers int, healthy []bool, stalled []bool) (objective.Vector, float64) {
-	return c.evaluate(ctx, sys, d, workers, healthy, stalled, c.Obs, true)
+func (c *Controller) evaluateParallel(ctx context.Context, epoch int, sys *objective.System, d eva.Decision, workers int, healthy []bool, stalled []bool) (objective.Vector, float64) {
+	return c.evaluate(ctx, sys, d, workers, healthy, stalled, c.Obs, true, epoch, c.Eval)
 }
 
 // evaluate is evaluateParallel's engine with the telemetry and audit taps
-// exposed: the real per-epoch evaluation passes (c.Obs, true); the
-// ledger's counterfactual evaluations pass (nil, false) so they perturb
-// neither the DES metrics/events nor the relaxed checker's check_* counts.
-func (c *Controller) evaluate(ctx context.Context, sys *objective.System, d eva.Decision, workers int, healthy []bool, stalled []bool, rec *obs.Recorder, audit bool) (objective.Vector, float64) {
+// exposed: the real per-epoch evaluation passes (c.Obs, true, c.Eval); the
+// ledger's counterfactual evaluations pass (nil, false, nil) so they perturb
+// neither the DES metrics/events nor the relaxed checker's check_* counts,
+// and always re-simulate locally (counterfactuals are hypotheticals — there
+// is nothing to measure on a real agent). A non-nil ev replaces the
+// in-process DES per server; an evaluator error scores that server as
+// contributing nothing, like a crashed server.
+func (c *Controller) evaluate(ctx context.Context, sys *objective.System, d eva.Decision, workers int, healthy []bool, stalled []bool, rec *obs.Recorder, audit bool, epoch int, ev ServerEvaluator) (objective.Vector, float64) {
 	// The decision's stream parameters were planned against possibly-stale
 	// content: re-derive true per-frame cost from the drifted clips while
 	// keeping the decision's periods and placement.
@@ -850,6 +1008,26 @@ func (c *Controller) evaluate(ctx context.Context, sys *objective.System, d eva.
 				})
 			}
 			c.specBufs[j] = specs
+			if ev != nil {
+				// Remote evaluation: the agent owns the DES (or the real
+				// measurement); the controller only merges its numbers. The
+				// specs slice aliases c.specBufs[j] — the evaluator contract
+				// requires implementations that retain it to copy.
+				r, err := ev.EvaluateServer(ctx, epoch, j, specs, sys.Servers[j], eva.EvalHorizon)
+				if err != nil {
+					if rec != nil {
+						rec.Registry().Counter("runtime_eval_failures_total").Inc()
+						rec.EventCtx(ctx, "eval_failed",
+							obs.F("epoch", float64(epoch)),
+							obs.F("server", float64(j)))
+					}
+					return
+				}
+				results[j].latSum = r.LatSum
+				results[j].frames = r.Frames
+				results[j].jitter = r.MaxJitter
+				return
+			}
 			var res cluster.Result
 			if rec == nil {
 				// Counterfactual / disabled-telemetry path: plain simulation,

@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/cluster"
+	"repro/internal/ctlplane"
+	"repro/internal/fault"
+	"repro/internal/objective"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/videosim"
+)
+
+// TestGoldenWireFaultRun re-runs the exact TestGoldenFaultRun scenario
+// through the distributed control plane — hollow agents over the loopback
+// wire evaluate every server, the controller's fault oracle supplies
+// health — and compares against the SAME golden fixture. Passing means the
+// wire path is byte-equivalent to the in-process path: JSON transport,
+// agent-side DES evaluation, and result folding introduce zero drift.
+func TestGoldenWireFaultRun(t *testing.T) {
+	clips := make([]*videosim.Clip, 6)
+	for i := range clips {
+		clips[i] = &videosim.Clip{
+			Name: fmt.Sprintf("cam%d", i), AccBase: 0.9,
+			AccFactor: 1, ComputeFac: 1, BitFac: 1, EnergyFac: 1,
+		}
+	}
+	servers := make([]cluster.Server, 3)
+	for j := range servers {
+		servers[j] = cluster.Server{Uplink: float64(10+5*j) * 1e6}
+	}
+	sys := &objective.System{Clips: clips, Servers: servers}
+	sc := &fault.Scenario{Name: "golden-crash", Events: []fault.Event{
+		{Epoch: 2, Action: fault.ServerDown, Target: 0},
+		{Epoch: 4, Action: fault.ServerDown, Target: 2},
+		{Epoch: 7, Action: fault.ServerUp, Target: 0},
+	}}
+	inj, err := fault.NewInjector(sc, sys.N(), sys.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(nil)
+	rt := &runtime.Controller{
+		Sys:   sys,
+		Sched: &runtime.FixedScheduler{Cfg: videosim.Config{Resolution: 1000, FPS: 10}},
+		Truth: objective.UniformPreference(),
+		Norm:  objective.NewNormalizer(sys),
+		Opt:   runtime.Options{ReplanEvery: 100, Check: check.New(true, rec)},
+		Obs:   rec,
+	}
+	ctl := ctlplane.New(rt, ctlplane.Options{Env: inj, OracleHealth: true})
+	fleet := ctlplane.NewHollowFleet(ctl, sys.N())
+	if err := fleet.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	trace, err := ctl.Run(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gold []goldenEpoch
+	for _, r := range trace.Reports {
+		shed := r.Shed
+		if shed == nil {
+			shed = []int{}
+		}
+		gold = append(gold, goldenEpoch{
+			Epoch:     r.Epoch,
+			Benefit:   fmt.Sprintf("%.15g", r.Benefit),
+			MaxJitter: fmt.Sprintf("%.9g", r.MaxJitter),
+			Replanned: r.Replanned,
+			Degraded:  r.Degraded,
+			Healthy:   r.HealthyServers,
+			Shed:      shed,
+			Streams:   r.ServerStreams,
+		})
+	}
+	goldenCompare(t, "fault_run.json", gold)
+}
