@@ -37,6 +37,7 @@ func main() {
 	fast := flag.Bool("fast", false, "shrink PaMO budgets for a quick pass")
 	fleet := flag.Bool("fleet", false, "skip the figures and run the fleet-scale replan benchmark (cold vs warm), writing a BENCH-style JSON report (-json path, default BENCH_pr5.json); -fast shrinks the cluster")
 	shard := flag.Bool("shard", false, "skip the figures and run the sharded control-plane scaling benchmark (4096 streams x 256 servers across shard counts), writing a BENCH-style JSON report (-json path, default BENCH_pr6.json); -fast shrinks the cluster")
+	churn := flag.Bool("churn", false, "skip the figures and run the 24h diurnal stream-churn benchmark (2x churn over a heterogeneous-speed cluster, cold full-resolve vs incremental admit/evict + warm-started models), writing a BENCH-style JSON report (-json path, default BENCH_pr9.json); -fast shrinks the day")
 	svg := flag.String("svg", "", "also write SVG charts into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -52,6 +53,10 @@ func main() {
 	}
 	if *shard {
 		runShard(os.Stdout, *jsonOut, *fast)
+		return
+	}
+	if *churn {
+		runChurn(os.Stdout, *jsonOut, *fast)
 		return
 	}
 
@@ -419,6 +424,103 @@ func runShard(w *os.File, jsonPath string, fast bool) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
 		fmt.Fprintf(os.Stderr, "shard json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+}
+
+// runChurn benchmarks the 24h diurnal churn day (exp.Churn) twice — Cold,
+// where every churn epoch invalidates the running decision and pays a full
+// Algorithm 2 resolve with cold profiling, and the default warm path, where
+// the incremental admit/evict fast path absorbs churn into the frozen
+// grouping and periodic full refreshes warm-start arrival models from the
+// bank — and writes the comparison plus the admit-hit-rate gate as a
+// BENCH-style JSON report. Both runs are audited end to end by the strict
+// exact-constraint checker (speed-scaled for the heterogeneous cluster);
+// a single violation aborts the benchmark.
+func runChurn(w *os.File, jsonPath string, fast bool) {
+	cfg := exp.ChurnConfig{}
+	if fast {
+		cfg = exp.ChurnConfig{Epochs: 24, FullEvery: 8}
+	}
+	bench := func(cold bool) testing.BenchmarkResult {
+		c := cfg
+		c.Cold = cold
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Churn(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	rep, err := exp.Churn(cfg) // one reported warm run: churn mix + hit rate
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+		os.Exit(1)
+	}
+	coldRep, err := exp.Churn(exp.ChurnConfig{
+		Epochs: cfg.Epochs, FullEvery: cfg.FullEvery, Cold: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churn cold: %v\n", err)
+		os.Exit(1)
+	}
+	coldRes := bench(true)
+	warmRes := bench(false)
+
+	fmt.Fprintf(w, "churn: %d initial streams x %d servers x %d epochs (%d churn ops over %d epochs, %d final streams)\n",
+		rep.Videos, rep.Servers, rep.Epochs, rep.ChurnOps, rep.ChurnEpochs, rep.FinalStreams)
+	fmt.Fprintf(w, "  admit hit rate: %.3f (%d fast, %d resolve)\n", rep.AdmitHitRate, rep.FastEpochs, rep.ResolveEpochs)
+	fmt.Fprintf(w, "  model seeding: %d bank hits, %d warm starts, %d cold starts; %d profiles (cold day: %d)\n",
+		rep.BankHits, rep.WarmStarts, rep.ColdStarts, rep.Profiles, coldRep.Profiles)
+	fmt.Fprintf(w, "  cold: %12d ns/op  %12d B/op  %9d allocs/op  (n=%d)\n",
+		coldRes.NsPerOp(), coldRes.AllocedBytesPerOp(), coldRes.AllocsPerOp(), coldRes.N)
+	fmt.Fprintf(w, "  warm: %12d ns/op  %12d B/op  %9d allocs/op  (n=%d)\n",
+		warmRes.NsPerOp(), warmRes.AllocedBytesPerOp(), warmRes.AllocsPerOp(), warmRes.N)
+	speedup := float64(coldRes.NsPerOp()) / float64(warmRes.NsPerOp())
+	fmt.Fprintf(w, "  speedup: %.2fx ns/op\n", speedup)
+
+	if jsonPath == "" {
+		jsonPath = "BENCH_pr9.json"
+	}
+	report := map[string]any{
+		"benchmark": "BenchmarkChurnDay",
+		"description": fmt.Sprintf(
+			"24h diurnal stream churn at 2x rate over a heterogeneous-speed cluster (%d initial streams x %d servers x %d epochs); cold = every churn epoch invalidates the decision and pays a full Algorithm 2 resolve with cold profiling, warm = exact Const2 admit/evict into the frozen grouping + periodic full refreshes that warm-start arrival models from the bank",
+			rep.Videos, rep.Servers, rep.Epochs),
+		"command":              "pamo-bench -churn  (fast variant: pamo-bench -churn -fast)",
+		"cpu":                  fmt.Sprintf("%d-core %s/%s", runtime.NumCPU(), runtime.GOOS, runtime.GOARCH),
+		"before_ns_per_op":     coldRes.NsPerOp(),
+		"after_ns_per_op":      warmRes.NsPerOp(),
+		"speedup":              math.Round(speedup*100) / 100,
+		"before_allocs_per_op": coldRes.AllocsPerOp(),
+		"after_allocs_per_op":  warmRes.AllocsPerOp(),
+		"before_bytes_per_op":  coldRes.AllocedBytesPerOp(),
+		"after_bytes_per_op":   warmRes.AllocedBytesPerOp(),
+		"admit_hit_rate":       math.Round(rep.AdmitHitRate*1000) / 1000,
+		"churn_ops":            rep.ChurnOps,
+		"churn_epochs":         rep.ChurnEpochs,
+		"fast_epochs":          rep.FastEpochs,
+		"resolve_epochs":       rep.ResolveEpochs,
+		"bank_hits":            rep.BankHits,
+		"warm_starts":          rep.WarmStarts,
+		"cold_starts":          rep.ColdStarts,
+		"profiles_warm_day":    rep.Profiles,
+		"profiles_cold_day":    coldRep.Profiles,
+		"degraded_epochs":      rep.DegradedEpochs,
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churn json: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "churn json: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(w, "wrote %s\n", jsonPath)

@@ -20,6 +20,7 @@
 //	pamo-controller -videos 8 -servers 4 -hollow 4 -epochs 12
 //	pamo-controller -videos 16 -servers 64 -hollow 64 -faults sc.json -chaos -missed-beats 1 -strict
 //	pamo-controller -videos 6 -servers 3 -hollow 3 -epochs 10 -compare-inprocess
+//	pamo-controller -videos 6 -servers 3 -hollow 3 -epochs 24 -churn 0.5 -incremental -strict
 //	pamo-controller -addr :7070 -servers 4 -agents 4 -epochs 12
 package main
 
@@ -66,6 +67,10 @@ type wireRunOutput struct {
 	StaleResults      uint64 `json:"stale_results_total"`
 	StaleIncarnations uint64 `json:"stale_incarnations_total"`
 	StrictViolations  uint64 `json:"strict_violations"`
+	StreamOps         uint64 `json:"stream_ops_total"`
+	ChurnOps          uint64 `json:"churn_ops_total"`
+	ChurnFast         uint64 `json:"churn_fast_total"`
+	ChurnResolve      uint64 `json:"churn_resolve_total"`
 
 	// Set (and gating) only with -compare-inprocess.
 	WireMatchesInProcess *bool `json:"wire_matches_inprocess,omitempty"`
@@ -84,6 +89,9 @@ func main() {
 	evalTimeout := flag.Duration("eval-timeout", 5*time.Second, "per-server wire evaluation deadline")
 	epochInterval := flag.Duration("epoch-interval", 0, "wall-clock pacing between epochs (0 = as fast as possible)")
 	faults := flag.String("faults", "", "fault scenario JSON")
+	churn := flag.Float64("churn", 0, "mean stream churn events per epoch at the diurnal peak, driven through the wire API (0 = off)")
+	churnPeriod := flag.Int("churn-period", 0, "diurnal churn period in epochs (default: the run length)")
+	incremental := flag.Bool("incremental", false, "amortized replan fast path: churn epochs admit/evict into the frozen grouping instead of paying a full resolve")
 	chaos := flag.Bool("chaos", false, "with -hollow and -faults: act out server events by killing/restarting hollow agents (liveness must be inferred)")
 	strict := flag.Bool("strict", false, "strict invariant checker: any install-time violation aborts with a non-zero exit")
 	compare := flag.Bool("compare-inprocess", false, "after the wire run, repeat it in-process and fail unless the traces are byte-identical")
@@ -136,8 +144,17 @@ func main() {
 		}
 	}
 
+	if *compare && (*churn > 0 || *incremental) {
+		// The in-process replay has no wire client to re-post churn
+		// through, and the fast path's counters are not part of the
+		// byte-compared reports anyway.
+		fmt.Fprintln(os.Stderr, "-compare-inprocess requires the plain path (drop -churn/-incremental)")
+		os.Exit(2)
+	}
+
 	sys := exp.NewSystem(*videos, *servers, *seed)
 	rt := newRuntime(sys, rec, *strict, *replanEvery, *seed)
+	rt.Opt.Incremental = *incremental
 
 	opt := ctlplane.Options{
 		MissedBeats:   *missedBeats,
@@ -173,6 +190,26 @@ func main() {
 	}
 
 	ctl := ctlplane.New(rt, opt)
+
+	var churnDriver *ctlplane.ChurnDriver
+	if *churn > 0 {
+		names := make([]string, sys.M())
+		for i, clip := range sys.Clips {
+			names[i] = clip.Name
+		}
+		script := fault.GenerateChurn(fault.ChurnOptions{
+			Epochs:       *epochs,
+			Initial:      names,
+			Rate:         *churn,
+			PeriodEpochs: *churnPeriod,
+			MaxStreams:   2 * *videos,
+			Seed:         *seed,
+		})
+		// The driver posts through the same HTTP surface external cameras
+		// would use; the loopback transport just skips the sockets.
+		churnDriver = ctlplane.NewChurnDriver(ctlplane.LoopbackClient(ctl, *seed), script, *seed)
+		ctl.OnEpoch(churnDriver.OnEpoch)
+	}
 
 	var fleet *ctlplane.HollowFleet
 	if *hollow > 0 {
@@ -216,6 +253,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
 		os.Exit(1)
 	}
+	if churnDriver != nil {
+		if err := churnDriver.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "churn driver: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	snap := rec.Registry().Snapshot()
 	out := wireRunOutput{
@@ -233,6 +276,11 @@ func main() {
 		MarksUp:           snap.Counters["ctlplane_marks_up_total"],
 		StaleResults:      snap.Counters["ctlplane_stale_results_total"],
 		StaleIncarnations: snap.Counters["ctlplane_stale_incarnations_total"],
+		StrictViolations:  snap.Counters["check_violations_total"],
+		StreamOps:         snap.Counters["ctlplane_stream_ops_total"],
+		ChurnOps:          snap.Counters["runtime_churn_ops_total"],
+		ChurnFast:         snap.Counters["runtime_churn_fast_total"],
+		ChurnResolve:      snap.Counters["runtime_churn_resolve_total"],
 	}
 	if sc != nil {
 		out.Scenario = sc.Name

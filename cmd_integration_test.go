@@ -237,10 +237,13 @@ func TestCmdPamoControllerHollowCompare(t *testing.T) {
 func TestCmdPamoControllerChaos(t *testing.T) {
 	bin := buildCmd(t, "pamo-controller")
 	scPath := filepath.Join(t.TempDir(), "chaos.json")
+	// The kills at epoch 2 are inferred at epoch 4 (last beats in epoch 1,
+	// epochs 2-3 fully silent with missed-beats=1), so the restart lands
+	// at epoch 5, after detection.
 	scenario := `{"name":"kill-recover","events":[
 		{"epoch":2,"action":"server_down","target":1},
 		{"epoch":2,"action":"server_down","target":3},
-		{"epoch":4,"action":"server_up","target":1}]}`
+		{"epoch":5,"action":"server_up","target":1}]}`
 	if err := os.WriteFile(scPath, []byte(scenario), 0o644); err != nil {
 		t.Fatal(err)
 	}

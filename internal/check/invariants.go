@@ -17,6 +17,18 @@ import (
 // underlying sched checks fold them into their verdicts, so they are split
 // out here first for a usable diagnosis.
 func (c *Checker) VerifyAssignment(streams []sched.Stream, assign []int, nServers int) error {
+	return c.verifyAssignment(streams, assign, nServers, nil)
+}
+
+// VerifyAssignmentServers is VerifyAssignment against a heterogeneous
+// cluster: the exact constraints scale with each server's speed class
+// (Const1 becomes Σ pᵢ·sᵢ ≤ speed_j, Const2 becomes Σ pᵢ ≤ gcd · speed_j).
+// At speed 1 everywhere the verdicts are identical to VerifyAssignment.
+func (c *Checker) VerifyAssignmentServers(streams []sched.Stream, assign []int, servers []cluster.Server) error {
+	return c.verifyAssignment(streams, assign, len(servers), servers)
+}
+
+func (c *Checker) verifyAssignment(streams []sched.Stream, assign []int, nServers int, servers []cluster.Server) error {
 	if c == nil {
 		return nil
 	}
@@ -32,11 +44,15 @@ func (c *Checker) VerifyAssignment(streams []sched.Stream, assign []int, nServer
 			return c.violate("assign_range", "stream %d (video %d.%d) assigned to server %d of %d", i, s.Video, s.Sub, j, nServers)
 		}
 	}
-	if !sched.CheckConst1(streams, assign, nServers) {
-		return c.violate("const1", "Eq. 6 violated: some server has exact utilization Σ pᵢ·sᵢ > 1")
+	ok1, ok2 := sched.CheckConst1(streams, assign, nServers), sched.CheckConst2(streams, assign, nServers)
+	if servers != nil {
+		ok1, ok2 = sched.CheckConst1Servers(streams, assign, servers), sched.CheckConst2Servers(streams, assign, servers)
 	}
-	if !sched.CheckConst2(streams, assign, nServers) {
-		return c.violate("const2", "Eq. 7 violated: some server has exact Σ pᵢ above its period gcd")
+	if !ok1 {
+		return c.violate("const1", "Eq. 6 violated: some server has exact utilization Σ pᵢ·sᵢ above its speed")
+	}
+	if !ok2 {
+		return c.violate("const2", "Eq. 7 violated: some server has exact Σ pᵢ above its speed-scaled period gcd")
 	}
 	return nil
 }
@@ -52,6 +68,17 @@ func (c *Checker) VerifyAssignment(streams []sched.Stream, assign []int, nServer
 // committed onto it — the property the arbiter's exactness is load-bearing
 // for.
 func (c *Checker) VerifyPlan(streams []sched.Stream, plan sched.Plan, nServers int, healthy []bool) error {
+	return c.verifyPlan(streams, plan, nServers, healthy, nil)
+}
+
+// VerifyPlanServers is VerifyPlan with speed-aware feasibility: the same
+// structural audit, then the exact speed-scaled Const1/Const2 of
+// VerifyAssignmentServers.
+func (c *Checker) VerifyPlanServers(streams []sched.Stream, plan sched.Plan, servers []cluster.Server, healthy []bool) error {
+	return c.verifyPlan(streams, plan, len(servers), healthy, servers)
+}
+
+func (c *Checker) verifyPlan(streams []sched.Stream, plan sched.Plan, nServers int, healthy []bool, servers []cluster.Server) error {
 	if c == nil {
 		return nil
 	}
@@ -90,7 +117,7 @@ func (c *Checker) VerifyPlan(streams []sched.Stream, plan sched.Plan, nServers i
 			return c.violate("shape", "stream %d is in no group", i)
 		}
 	}
-	return c.VerifyAssignment(streams, plan.StreamServer, nServers)
+	return c.verifyAssignment(streams, plan.StreamServer, nServers, servers)
 }
 
 // VerifyDecision checks a complete scheduling decision: structural
@@ -99,6 +126,16 @@ func (c *Checker) VerifyPlan(streams []sched.Stream, plan sched.Plan, nServers i
 // through the same checks — a degraded replan that violates Const2 is
 // exactly the failure mode the harness exists to catch.
 func (c *Checker) VerifyDecision(d eva.Decision, nServers int) error {
+	return c.verifyDecision(d, nServers, nil)
+}
+
+// VerifyDecisionServers is VerifyDecision with speed-aware feasibility for
+// heterogeneous clusters.
+func (c *Checker) VerifyDecisionServers(d eva.Decision, servers []cluster.Server) error {
+	return c.verifyDecision(d, len(servers), servers)
+}
+
+func (c *Checker) verifyDecision(d eva.Decision, nServers int, servers []cluster.Server) error {
 	if c == nil {
 		return nil
 	}
@@ -119,7 +156,7 @@ func (c *Checker) VerifyDecision(d eva.Decision, nServers int) error {
 			return c.violate("shed", "stream %d belongs to shed video %d but is still scheduled", i, s.Video)
 		}
 	}
-	return c.VerifyAssignment(d.Streams, d.Assign, nServers)
+	return c.verifyAssignment(d.Streams, d.Assign, nServers, servers)
 }
 
 // ObserveJitter records the simulated worst-case jitter of an installed

@@ -101,14 +101,18 @@ func (a *Arena) SimulateServer(streams []StreamSpec, srv Server, horizon float64
 	}
 	a.frames = frames
 
+	// Speed-scaled service, mirroring the package-level SimulateServer
+	// operation for operation (division by speed 1 is an exact identity).
+	spd := srv.Speed()
 	free := 0.0
 	busy := 0.0
 	for i := range frames {
 		f := &frames[i]
 		f.Start = math.Max(f.Arrive, free)
-		f.Finish = f.Start + streams[f.Stream].Proc
+		proc := streams[f.Stream].Proc / spd
+		f.Finish = f.Start + proc
 		free = f.Finish
-		busy += streams[f.Stream].Proc
+		busy += proc
 	}
 	return a.summarizeInto(frames, streams, horizon, busy)
 }
@@ -168,6 +172,15 @@ func (a *Arena) SimulateServerRecordedCtx(ctx context.Context, streams []StreamS
 // ZeroJitterOffsets directly to streams, allocating nothing. The computed
 // offsets are bit-identical to the copying variant.
 func ZeroJitterOffsetsInPlace(streams []StreamSpec, uplink float64) {
+	ZeroJitterOffsetsInPlaceOn(streams, Server{Uplink: uplink})
+}
+
+// ZeroJitterOffsetsInPlaceOn is ZeroJitterOffsetsOn writing directly into
+// streams, allocating nothing: the slot train accumulates the server's
+// effective service times p_i/speed.
+func ZeroJitterOffsetsInPlaceOn(streams []StreamSpec, srv Server) {
+	uplink := srv.Uplink
+	spd := srv.Speed()
 	var maxTx float64
 	for _, s := range streams {
 		if uplink > 0 {
@@ -181,6 +194,6 @@ func ZeroJitterOffsetsInPlace(streams []StreamSpec, uplink float64) {
 			tx = streams[i].Bits / uplink
 		}
 		streams[i].Offset = maxTx + acc - tx
-		acc += streams[i].Proc
+		acc += streams[i].Proc / spd
 	}
 }

@@ -23,8 +23,23 @@ type StreamSpec struct {
 
 // Server describes one edge server.
 type Server struct {
-	Name     string
-	Uplink   float64 // uplink bandwidth B, bits/s
+	Name   string
+	Uplink float64 // uplink bandwidth B, bits/s
+	// SpeedFactor scales the server's processing rate: a frame whose
+	// nominal cost is Proc seconds occupies this server for
+	// Proc/SpeedFactor seconds. Zero (the homogeneous default) means 1,
+	// so existing configurations and golden traces are unchanged.
+	SpeedFactor float64
+}
+
+// Speed returns the effective processing-rate factor: SpeedFactor when
+// positive, else 1. Non-finite or non-positive values fall back to the
+// homogeneous default rather than poisoning the simulation.
+func (s Server) Speed() float64 {
+	if !(s.SpeedFactor > 0) || math.IsInf(s.SpeedFactor, 1) {
+		return 1
+	}
+	return s.SpeedFactor
 }
 
 // FrameRecord is the simulated life of one frame.
@@ -117,14 +132,19 @@ func SimulateServer(streams []StreamSpec, srv Server, horizon float64) Result {
 		next[best]++
 	}
 
+	// Service time scales with the server's speed class. At the
+	// homogeneous default (speed 1) the division is an exact identity, so
+	// golden traces are bit-identical.
+	spd := srv.Speed()
 	free := 0.0
 	busy := 0.0
 	for i := range frames {
 		f := &frames[i]
 		f.Start = math.Max(f.Arrive, free)
-		f.Finish = f.Start + streams[f.Stream].Proc
+		proc := streams[f.Stream].Proc / spd
+		f.Finish = f.Start + proc
 		free = f.Finish
-		busy += streams[f.Stream].Proc
+		busy += proc
 	}
 
 	return summarize(frames, streams, horizon, busy)
@@ -226,19 +246,18 @@ func MeanLatency(results []Result) float64 {
 // the capture offset compensates for the per-stream delay bits/uplink; the
 // common shift C = max(tx) keeps all capture offsets non-negative.
 func ZeroJitterOffsets(streams []StreamSpec, uplink float64) []StreamSpec {
+	return ZeroJitterOffsetsOn(streams, Server{Uplink: uplink})
+}
+
+// ZeroJitterOffsetsOn is ZeroJitterOffsets for a heterogeneous server: the
+// back-to-back slot accumulation uses the server's *effective* service
+// times p_i/speed, which is what Theorem 1's proof actually needs — the
+// k-th stream's frame must arrive exactly when the server finishes the
+// previous k-1 frames of the slot train. The grouping side of the
+// guarantee is the speed-scaled Const2: Σ p_i ≤ gcd(T) · speed. At
+// speed 1 the offsets are bit-identical to the homogeneous variant.
+func ZeroJitterOffsetsOn(streams []StreamSpec, srv Server) []StreamSpec {
 	out := append([]StreamSpec(nil), streams...)
-	tx := make([]float64, len(out))
-	var maxTx float64
-	for i, s := range out {
-		if uplink > 0 {
-			tx[i] = s.Bits / uplink
-		}
-		maxTx = math.Max(maxTx, tx[i])
-	}
-	acc := 0.0
-	for i := range out {
-		out[i].Offset = maxTx + acc - tx[i]
-		acc += out[i].Proc
-	}
+	ZeroJitterOffsetsInPlaceOn(out, srv)
 	return out
 }

@@ -1,0 +1,89 @@
+package ctlplane
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/runtime"
+	"repro/internal/videosim"
+)
+
+// RegisterStream queues a video-source registration for the next epoch
+// boundary through the wire API.
+func (cl *Client) RegisterStream(ctx context.Context, clip ClipSpec) (StreamOpResponse, error) {
+	var resp StreamOpResponse
+	err := cl.call(ctx, "/v1/streams/register", StreamRegisterRequest{Clip: clip}, &resp, 0)
+	return resp, err
+}
+
+// DeregisterStream queues a video-source removal for the next epoch
+// boundary through the wire API.
+func (cl *Client) DeregisterStream(ctx context.Context, name string) (StreamOpResponse, error) {
+	var resp StreamOpResponse
+	err := cl.call(ctx, "/v1/streams/deregister", StreamDeregisterRequest{Name: name}, &resp, 0)
+	return resp, err
+}
+
+// ClipSpecOf projects a clip onto its wire form (content phase is not on
+// the wire; see ClipSpec).
+func ClipSpecOf(c *videosim.Clip) ClipSpec {
+	return ClipSpec{
+		Name: c.Name, AccBase: c.AccBase, AccFactor: c.AccFactor,
+		ComputeFac: c.ComputeFac, BitFac: c.BitFac, EnergyFac: c.EnergyFac,
+	}
+}
+
+// ChurnDriver replays a fault.ChurnScript over the wire: scripted arrivals
+// and departures become /v1/streams POSTs from a client, so a hollow-agent
+// fleet exercises the exact churn path a real camera fleet would — HTTP
+// handler, op queue, canonicalized drain, incremental admit/evict — rather
+// than a shortcut into the runtime. Arrivals mint the same deterministic
+// clips the in-process ChurnFeed mints (modulo the wire's zero content
+// phase), keyed on (seed, name).
+//
+// Wire it as an OnEpoch hook. The hook at epoch e runs after e's ops have
+// drained, so the driver posts the script's epoch-(e+1) ops there and they
+// land exactly on their scripted boundary. Script ops at epochs 0 and 1
+// are posted at the first hook and therefore all land at epoch 1 — a
+// controller cannot churn an epoch that planned before any hook ran.
+type ChurnDriver struct {
+	cl     *Client
+	script *fault.ChurnScript
+	seed   uint64
+	next   int
+	err    error
+}
+
+// NewChurnDriver builds a driver posting script's ops through cl. The
+// script's ops must be in non-decreasing epoch order (fault.GenerateChurn
+// emits them that way); seed keys arrival clip minting.
+func NewChurnDriver(cl *Client, script *fault.ChurnScript, seed uint64) *ChurnDriver {
+	return &ChurnDriver{cl: cl, script: script, seed: seed}
+}
+
+// OnEpoch posts every script op due at epoch+1. The first wire error stops
+// the driver; Err reports it.
+func (d *ChurnDriver) OnEpoch(epoch int) {
+	if d.err != nil {
+		return
+	}
+	ctx := context.Background()
+	for d.next < len(d.script.Ops) && d.script.Ops[d.next].Epoch <= epoch+1 {
+		op := d.script.Ops[d.next]
+		d.next++
+		var err error
+		if op.Add {
+			_, err = d.cl.RegisterStream(ctx, ClipSpecOf(runtime.MintClip(op.Name, d.seed)))
+		} else {
+			_, err = d.cl.DeregisterStream(ctx, op.Name)
+		}
+		if err != nil {
+			d.err = fmt.Errorf("ctlplane: churn op %q epoch %d: %w", op.Name, op.Epoch, err)
+			return
+		}
+	}
+}
+
+// Err returns the first wire error the driver hit, if any.
+func (d *ChurnDriver) Err() error { return d.err }

@@ -181,19 +181,21 @@ func TestLivenessInference(t *testing.T) {
 	if v := reg.Counter("ctlplane_marks_up_total").Value(); v != 1 {
 		t.Fatalf("marks_up_total = %d, want 1", v)
 	}
-	// Kill at epoch 2 with MissedBeats=1: the server still looks alive at
-	// epoch 2 (its epoch-1 beat is within budget), its dispatch times out,
-	// and the silence is detected at epoch 3. The restart at epoch 6
-	// registers synchronously, so epoch 6 already runs on 3 servers.
+	// Kill at epoch 2 with MissedBeats=1: the server's last beat lands in
+	// epoch 1, epoch 2 ends mid-kill and epoch 3 elapses fully silent —
+	// one full missed beat, still within the allowance — and the liveness
+	// check at the START of epoch 4 sees the allowance exceeded and marks
+	// it down. The restart at epoch 6 registers synchronously, so epoch 6
+	// already runs on 3 servers.
 	byEpoch := map[int]runtime.EpochReport{}
 	for _, r := range trace.Reports {
 		byEpoch[r.Epoch] = r
 	}
-	if got := byEpoch[3].HealthyServers; got != servers-1 {
-		t.Fatalf("epoch 3 healthy = %d, want %d", got, servers-1)
+	if got := byEpoch[4].HealthyServers; got != servers-1 {
+		t.Fatalf("epoch 4 healthy = %d, want %d", got, servers-1)
 	}
-	if !byEpoch[3].Replanned || byEpoch[3].FaultEvents == 0 {
-		t.Fatalf("detection epoch did not force a replan: %+v", byEpoch[3])
+	if !byEpoch[4].Replanned || byEpoch[4].FaultEvents == 0 {
+		t.Fatalf("detection epoch did not force a replan: %+v", byEpoch[4])
 	}
 	if got := byEpoch[6].HealthyServers; got != servers {
 		t.Fatalf("epoch 6 healthy = %d, want %d", got, servers)
@@ -472,5 +474,65 @@ func TestClientRetriesTransportErrors(t *testing.T) {
 	err := cl.call(context.Background(), "/v1/fenced", struct{}{}, nil, 0)
 	if !strings.Contains(fmt.Sprint(err), "fenced") || calls != 1 {
 		t.Fatalf("fenced call: err=%v calls=%d (must not retry)", err, calls)
+	}
+}
+
+// TestWireChurnIncrementalFastPath drives scripted stream churn through
+// the wire API with the incremental fast path on: a ChurnDriver posts the
+// script's register/deregister ops from the epoch hook, the hollow fleet
+// evaluates every plan, and the churn epochs must ride the exact
+// admit/evict path — incremental replans, no full resolve after epoch 0 —
+// with the strict checker auditing every installed decision.
+func TestWireChurnIncrementalFastPath(t *testing.T) {
+	const videos, servers, epochs = 4, 2, 8
+	rec := obs.NewRecorder(nil)
+	rt := newRuntime(testSystem(videos, servers), rec, true)
+	rt.Opt.Incremental = true
+	ctl := New(rt, Options{})
+	cl := LoopbackClient(ctl, 9)
+	fleet := NewHollowFleet(ctl, servers)
+	if err := fleet.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	script := &fault.ChurnScript{Name: "wire-churn", Ops: []fault.ChurnOp{
+		{Epoch: 3, Add: true, Name: "cam-w1"},
+		{Epoch: 5, Add: false, Name: "cam0"},
+	}}
+	driver := NewChurnDriver(cl, script, 42)
+	ctl.OnEpoch(driver.OnEpoch)
+
+	trace, err := ctl.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := driver.Err(); err != nil {
+		t.Fatal(err)
+	}
+	byEpoch := map[int]runtime.EpochReport{}
+	for _, r := range trace.Reports {
+		byEpoch[r.Epoch] = r
+	}
+	for _, e := range []int{3, 5} {
+		if !byEpoch[e].Replanned {
+			t.Fatalf("churn epoch %d not replanned: %+v", e, byEpoch[e])
+		}
+	}
+	if rt.Sys.M() != videos {
+		t.Fatalf("M = %d after +1/-1 wire churn, want %d", rt.Sys.M(), videos)
+	}
+	reg := ctl.rec.Registry()
+	if v := reg.Counter("ctlplane_stream_ops_total").Value(); v != 2 {
+		t.Fatalf("stream_ops_total = %d, want 2", v)
+	}
+	if v := reg.Counter("runtime_churn_fast_total").Value(); v != 2 {
+		t.Fatalf("churn_fast_total = %d, want 2 (arrival admitted, departure evicted)", v)
+	}
+	if v := reg.Counter("runtime_churn_resolve_total").Value(); v != 0 {
+		t.Fatalf("churn_resolve_total = %d, want 0", v)
+	}
+	if v := reg.Counter("runtime_replans_incremental_total").Value(); v == 0 {
+		t.Fatal("no incremental replans on the wire churn path")
 	}
 }

@@ -30,8 +30,11 @@ func TestHollowFleet1024Chaos(t *testing.T) {
 		{Epoch: 2, Action: fault.ServerDown, Target: 17},
 		{Epoch: 2, Action: fault.ServerDown, Target: 64},
 		{Epoch: 2, Action: fault.ServerDown, Target: 100},
-		{Epoch: 4, Action: fault.ServerUp, Target: 3},
-		{Epoch: 4, Action: fault.ServerUp, Target: 64},
+		// Kills at epoch 2 are detected at epoch 4 (the last beat lands in
+		// epoch 1, epochs 2 and 3 elapse fully silent, exceeding
+		// MissedBeats=1), so the restarts land after detection.
+		{Epoch: 5, Action: fault.ServerUp, Target: 3},
+		{Epoch: 5, Action: fault.ServerUp, Target: 64},
 	}}
 
 	rt := newRuntime(testSystem(videos, servers), obs.NewRecorder(nil), true)

@@ -242,7 +242,13 @@ func (c *Controller) Advance(epoch int) []fault.Event {
 	up := 0
 	for j := range c.agents {
 		a := &c.agents[j]
-		alive := epoch-a.lastBeat <= c.opt.MissedBeats
+		// Liveness runs at the START of the epoch, before this epoch's
+		// beats can arrive, so the fully-elapsed silent epochs are
+		// lastBeat+1 .. epoch-1: epoch-lastBeat-1 of them. A server is dead
+		// only when that count EXCEEDS the MissedBeats allowance —
+		// comparing epoch-lastBeat against MissedBeats directly counts the
+		// still-open boundary epoch as missed and fires one epoch early.
+		alive := epoch-a.lastBeat <= c.opt.MissedBeats+1
 		switch {
 		case a.up && !alive:
 			a.up = false

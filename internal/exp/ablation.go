@@ -220,7 +220,12 @@ func AblationHungarian(w io.Writer, videos, servers int, seed uint64) Table {
 		t.Fprint(w)
 		return t
 	}
-	plan := sched.MapGroups(groups, streams, sys.Servers)
+	plan, err := sched.MapGroups(groups, streams, sys.Servers)
+	if err != nil {
+		t.Add("both", "infeasible")
+		t.Fprint(w)
+		return t
+	}
 	t.Add("hungarian", plan.CommLatency)
 
 	// In-order mapping: group g → server g.

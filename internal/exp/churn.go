@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/fault"
+	"repro/internal/objective"
+	"repro/internal/obs"
+	"repro/internal/pamo"
+	"repro/internal/pref"
+	"repro/internal/runtime"
+)
+
+// ChurnConfig sizes the diurnal churn scenario: a 24-hour day of stream
+// arrivals and departures over a heterogeneous-speed edge cluster, driven
+// through the fault-tolerant controller with the incremental admit/evict
+// fast path and the warm-started model bank enabled, audited end to end by
+// a strict checker. This is the closing scenario for the churn work: most
+// churn epochs must be absorbed without a full Algorithm 1 + profiling
+// resolve, and arrivals must reach steady-state quality on a fraction of
+// the cold profiling budget.
+type ChurnConfig struct {
+	Videos       int     // initial streams (default 4)
+	Servers      int     // default 5
+	Epochs       int     // default 96 — a day at 15-minute epochs
+	PeriodEpochs int     // diurnal period (default Epochs: one full day)
+	Rate         float64 // peak churn events/epoch (default 1.0 = 2× nominal)
+	ReplanEvery  int     // scheduled replan cadence (default 8)
+	FullEvery    int     // full configuration-refresh cadence (default 24: every 6h)
+	Seed         uint64  // default 77
+	// Cold disables everything the churn work added on top of the
+	// controller: no incremental admit/evict fast path, no periodic-refresh
+	// split, no model bank — every churn epoch invalidates the decision and
+	// pays a full Algorithm 2 resolve with cold profiling. The benchmark's
+	// before/after comparison runs the same day both ways.
+	Cold bool
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Videos == 0 {
+		c.Videos = 4
+	}
+	if c.Servers == 0 {
+		c.Servers = 5
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 96
+	}
+	if c.PeriodEpochs == 0 {
+		c.PeriodEpochs = c.Epochs
+	}
+	if c.Rate == 0 {
+		// The fault generator's nominal peak rate is 0.5; the stress
+		// scenario doubles it.
+		c.Rate = 1.0
+	}
+	if c.ReplanEvery == 0 {
+		c.ReplanEvery = 8
+	}
+	if c.FullEvery == 0 {
+		c.FullEvery = 24
+	}
+	if c.Seed == 0 {
+		c.Seed = 77
+	}
+	return c
+}
+
+// churnSpeeds is the heterogeneous speed-class set the scenario cycles
+// across servers. Every value is dyadic, so the speed-scaled Const2
+// arithmetic stays exact.
+var churnSpeeds = []float64{1, 1.5, 0.75, 2, 1.25}
+
+// ChurnReport aggregates one churn run. AdmitHitRate is the fraction of
+// churn epochs absorbed by the admit/evict fast path (no full resolve);
+// the warm/cold counters record how arrivals seeded their outcome models.
+type ChurnReport struct {
+	Videos, Servers, Epochs int
+	FinalStreams            int
+	ChurnOps                int
+	ChurnEpochs             int
+	FastEpochs              int
+	ResolveEpochs           int
+	AdmitHitRate            float64
+	FullReplans             int
+	IncrementalReplans      int
+	BankHits                int
+	WarmStarts              int
+	ColdStarts              int
+	Profiles                int
+	MeanBenefit             float64
+	DegradedEpochs          int
+}
+
+// Churn runs the 24h diurnal churn scenario once. The strict checker makes
+// every installed decision a hard assertion: any exact-feasibility
+// violation — including the speed-scaled Const2 on the fast-path admissions
+// — aborts the run with an error.
+func Churn(cfg ChurnConfig) (ChurnReport, error) {
+	cfg = cfg.withDefaults()
+	sys := NewSystem(cfg.Videos, cfg.Servers, cfg.Seed)
+	for j := range sys.Servers {
+		sys.Servers[j].SpeedFactor = churnSpeeds[j%len(churnSpeeds)]
+	}
+	names := make([]string, len(sys.Clips))
+	for i, clip := range sys.Clips {
+		names[i] = clip.Name
+	}
+	script := fault.GenerateChurn(fault.ChurnOptions{
+		Epochs:       cfg.Epochs,
+		Initial:      names,
+		Rate:         cfg.Rate,
+		PeriodEpochs: cfg.PeriodEpochs,
+		MaxStreams:   2 * cfg.Videos,
+		Seed:         cfg.Seed,
+	})
+
+	rec := obs.NewRecorder(nil)
+	defer rec.Close()
+	chk := check.New(true, rec)
+	truth := objective.UniformPreference()
+	popt := churnPamoOpts(cfg.Seed, chk, rec)
+	ropt := runtime.Options{
+		ReplanEvery:      cfg.ReplanEvery,
+		Incremental:      true,
+		FullResolveEvery: cfg.FullEvery,
+		Check:            chk,
+	}
+	if cfg.Cold {
+		popt.Models = nil
+		ropt.Incremental = false
+		ropt.FullResolveEvery = 0
+	}
+	ctl := &runtime.Controller{
+		Sys:   sys,
+		Sched: &runtime.PaMOScheduler{DM: &pref.Oracle{Pref: truth}, Opt: popt},
+		Truth: truth,
+		Norm:  objective.NewNormalizer(sys),
+		Opt:   ropt,
+		Ops:   runtime.NewChurnFeed(script, cfg.Seed),
+		Obs:   rec,
+	}
+	trace, err := ctl.Run(context.Background(), cfg.Epochs)
+	if err != nil {
+		return ChurnReport{}, fmt.Errorf("exp: churn run: %w", err)
+	}
+
+	reg := rec.Registry()
+	cv := func(name string) int { return int(reg.Counter(name).Value()) }
+	rep := ChurnReport{
+		Videos:             cfg.Videos,
+		Servers:            cfg.Servers,
+		Epochs:             len(trace.Reports),
+		FinalStreams:       sys.M(),
+		ChurnOps:           cv("runtime_churn_ops_total"),
+		ChurnEpochs:        cv("runtime_churn_epochs_total"),
+		FastEpochs:         cv("runtime_churn_fast_total"),
+		ResolveEpochs:      cv("runtime_churn_resolve_total"),
+		FullReplans:        cv("runtime_replans_total") - cv("runtime_replans_incremental_total"),
+		IncrementalReplans: cv("runtime_replans_incremental_total"),
+		BankHits:           cv("pamo_bank_hits_total"),
+		WarmStarts:         cv("pamo_warm_starts_total"),
+		ColdStarts:         cv("pamo_cold_starts_total"),
+		Profiles:           cv("pamo_profiles_total"),
+		DegradedEpochs:     cv("runtime_degraded_epochs_total"),
+		MeanBenefit:        trace.MeanBenefit(),
+	}
+	if total := rep.FastEpochs + rep.ResolveEpochs; total > 0 {
+		rep.AdmitHitRate = float64(rep.FastEpochs) / float64(total)
+	}
+	return rep, nil
+}
+
+// churnPamoOpts is the optimizer budget for the scenario's full resolves:
+// small enough that a day-long run finishes quickly, with the model bank
+// enabled so every resolve warm-starts arrivals from the clips already
+// profiled and keeps previously conditioned models across replans.
+func churnPamoOpts(seed uint64, chk *check.Checker, rec *obs.Recorder) pamo.Options {
+	return pamo.Options{
+		InitProfiles: 10, InitObs: 2, PrefPairs: 6, PrefPool: 8,
+		Batch: 2, MCSamples: 8, CandPool: 6, MaxIter: 2,
+		Seed:   seed,
+		Models: pamo.NewBank(),
+		Check:  chk,
+		Obs:    rec,
+	}
+}

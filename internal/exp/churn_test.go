@@ -1,0 +1,48 @@
+package exp
+
+import "testing"
+
+// TestChurnScenario runs the 24h diurnal churn day end to end and gates the
+// properties the churn work exists for: the strict checker stays silent,
+// most churn epochs avoid a full resolve, the periodic refreshes actually
+// exercise the model bank, and the run is deterministic.
+func TestChurnScenario(t *testing.T) {
+	rep, err := Churn(ChurnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChurnEpochs == 0 || rep.ChurnOps == 0 {
+		t.Fatalf("schedule produced no churn: %+v", rep)
+	}
+	if rep.FastEpochs+rep.ResolveEpochs != rep.ChurnEpochs {
+		t.Fatalf("fast %d + resolve %d != churn epochs %d",
+			rep.FastEpochs, rep.ResolveEpochs, rep.ChurnEpochs)
+	}
+	// The acceptance gate: at least 70% of churn epochs absorbed by the
+	// admit/evict fast path.
+	if rep.AdmitHitRate < 0.7 {
+		t.Errorf("admit hit rate %.3f below 0.7: %+v", rep.AdmitHitRate, rep)
+	}
+	// The periodic configuration refreshes must re-run the optimizer and
+	// seed arrivals from the bank instead of profiling everything cold.
+	if rep.FullReplans < 2 {
+		t.Errorf("full replans = %d, want >= 2 (refresh cadence broken)", rep.FullReplans)
+	}
+	if rep.WarmStarts == 0 {
+		t.Errorf("no warm starts across refreshes: %+v", rep)
+	}
+	if rep.IncrementalReplans == 0 {
+		t.Errorf("no incremental replans: %+v", rep)
+	}
+	if rep.DegradedEpochs != 0 {
+		t.Errorf("degraded epochs = %d, want 0", rep.DegradedEpochs)
+	}
+
+	again, err := Churn(ChurnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != rep {
+		t.Errorf("churn scenario not deterministic:\n first %+v\nsecond %+v", rep, again)
+	}
+}

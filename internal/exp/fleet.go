@@ -241,7 +241,7 @@ func Fleet(cfg FleetConfig) FleetReport {
 					srvSpecs[srv] = append(srvSpecs[srv], specs[si])
 				}
 				part := srvSpecs[srv][at:]
-				cluster.ZeroJitterOffsetsInPlace(part, servers[srv].Uplink)
+				cluster.ZeroJitterOffsetsInPlaceOn(part, servers[srv])
 				for gi, si := range members {
 					part[gi].Proc = streams[split[si].Video].Proc
 				}

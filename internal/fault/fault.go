@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"os"
 	"sort"
@@ -246,6 +247,117 @@ func Generate(o GenOptions) *Scenario {
 
 func sortEvents(evs []Event) {
 	sort.SliceStable(evs, func(a, b int) bool { return evs[a].Epoch < evs[b].Epoch })
+}
+
+// ChurnOp is one scripted stream arrival or departure at epoch granularity.
+// Like fault events, churn ops are plain data: the runtime layer decides
+// what a named stream's content looks like, so the schedule itself stays a
+// pure function of its options.
+type ChurnOp struct {
+	Epoch int    `json:"epoch"`
+	Add   bool   `json:"add"` // false = deregister Name
+	Name  string `json:"name"`
+}
+
+// ChurnScript is a named deterministic schedule of stream churn.
+type ChurnScript struct {
+	Name string    `json:"name"`
+	Ops  []ChurnOp `json:"ops"`
+}
+
+// ChurnOptions tunes GenerateChurn.
+type ChurnOptions struct {
+	Epochs int
+	// Initial is the set of stream names live at epoch 0 — departures may
+	// target them; the generator never re-adds a departed name.
+	Initial []string
+	// Rate is the mean churn events per epoch at the diurnal peak (default
+	// 0.5). Double it for a 2×-churn stress schedule.
+	Rate float64
+	// PeriodEpochs is the diurnal period (default 1440: a 24h day at
+	// one-minute epochs). Arrivals dominate through the rising half of the
+	// cycle and departures through the falling half, so the live population
+	// swells by day and thins by night.
+	PeriodEpochs int
+	// MinStreams/MaxStreams bound the live population (defaults: 2 and
+	// 2×len(Initial), at least 4).
+	MinStreams int
+	MaxStreams int
+	Seed       uint64
+}
+
+func (o ChurnOptions) withDefaults() ChurnOptions {
+	if o.Rate == 0 {
+		o.Rate = 0.5
+	}
+	if o.PeriodEpochs <= 0 {
+		o.PeriodEpochs = 1440
+	}
+	if o.MinStreams <= 0 {
+		o.MinStreams = 2
+	}
+	if o.MaxStreams <= 0 {
+		o.MaxStreams = 2 * len(o.Initial)
+		if o.MaxStreams < 4 {
+			o.MaxStreams = 4
+		}
+	}
+	return o
+}
+
+// GenerateChurn builds a deterministic diurnal churn schedule: the event
+// intensity follows a raised sinusoid over PeriodEpochs, and each event is
+// an arrival or departure biased by the cycle's phase. Arrivals mint fresh
+// "cam-<serial>" names; departures pick uniformly among the live set. The
+// population never leaves [MinStreams, MaxStreams], and the output depends
+// only on the options — never on call order or wall clock.
+func GenerateChurn(o ChurnOptions) *ChurnScript {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewPCG(o.Seed, 0xC4012))
+	sc := &ChurnScript{Name: fmt.Sprintf("churn-%d", o.Seed)}
+	live := append([]string(nil), o.Initial...)
+	serial := 0
+	for epoch := 0; epoch < o.Epochs; epoch++ {
+		phase := 2 * math.Pi * float64(epoch) / float64(o.PeriodEpochs)
+		intensity := o.Rate * (0.5 + 0.5*math.Sin(phase))
+		events := int(intensity)
+		if rng.Float64() < intensity-float64(events) {
+			events++
+		}
+		for k := 0; k < events; k++ {
+			// Rising half of the day: mostly arrivals; falling half: mostly
+			// departures. The population bounds override the bias.
+			add := rng.Float64() < 0.5+0.4*math.Cos(phase)
+			if len(live) <= o.MinStreams {
+				add = true
+			} else if len(live) >= o.MaxStreams {
+				add = false
+			}
+			if add {
+				serial++
+				name := fmt.Sprintf("cam-%04d", serial)
+				sc.Ops = append(sc.Ops, ChurnOp{Epoch: epoch, Add: true, Name: name})
+				live = append(live, name)
+			} else {
+				i := rng.IntN(len(live))
+				sc.Ops = append(sc.Ops, ChurnOp{Epoch: epoch, Add: false, Name: live[i]})
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+	}
+	return sc
+}
+
+// OpsAt returns the ops scheduled at the given epoch. Ops are emitted in
+// generation order, which is non-decreasing in epoch.
+func (sc *ChurnScript) OpsAt(epoch int) []ChurnOp {
+	var out []ChurnOp
+	for _, op := range sc.Ops {
+		if op.Epoch == epoch {
+			out = append(out, op)
+		}
+	}
+	return out
 }
 
 // State is the injector's view of the cluster at one epoch.

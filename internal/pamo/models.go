@@ -60,6 +60,18 @@ type metricGP struct {
 	scale float64
 	xs    [][]float64
 	ys    []float64
+	// vxs/vys are virtual observations borrowed from a warm-start donor
+	// (see warmFrom). They condition the GP ahead of the model's own
+	// measurements but are down-weighted: while any virtual point remains,
+	// the GP runs at inflate× the pooled observation noise, so real
+	// measurements overrule them locally as they arrive. Once the model has
+	// twice as many real points as virtual ones, the virtual set retires and
+	// the noise floor returns to baseNoise.
+	vxs       [][]float64
+	vys       []float64
+	baseNoise float64
+	inflate   float64 // > 0 only while the warm-start lifecycle is active
+	forceFull bool    // next refit must refactorize (dataset shape or noise changed)
 	// cholInc/cholFull count which refit path conditioned the GP:
 	// incremental Cholesky extensions vs full refactorizations. Nil (the
 	// untelemetered default) is a no-op.
@@ -82,13 +94,86 @@ func newMetricGP(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.
 	if mvn != nil {
 		g.SetFallbackCounter(mvn)
 	}
-	return &metricGP{g: g, cache: g.NewCrossCache(), scale: 1, cholInc: cholInc, cholFull: cholFull, chk: chk}
+	return &metricGP{g: g, cache: g.NewCrossCache(), scale: 1, baseNoise: 1e-3, cholInc: cholInc, cholFull: cholFull, chk: chk}
 }
 
 // add appends one observation.
 func (m *metricGP) add(x []float64, y float64) {
 	m.xs = append(m.xs, x)
 	m.ys = append(m.ys, y)
+}
+
+// warmFrom seeds an unconditioned model from the models of similar clips:
+// the kernel hyperparameters become the donors' pooled values
+// (gp.PoolHyperparams — element-wise mean in log space), and up to keep
+// observations of the first donor (the most similar clip) are injected as
+// virtual points. Down-weighting is by noise inflation: the model runs at
+// inflate× the pooled noise variance until the virtual set retires, so the
+// borrowed targets shape the prior mean without being trusted like real
+// measurements. Reports false — leaving the model cold — when it already
+// holds data or the donors' hyperparameters cannot be pooled.
+func (m *metricGP) warmFrom(donors []*metricGP, keep int, inflate float64) bool {
+	if len(m.xs) > 0 || m.g.N() > 0 {
+		return false
+	}
+	gs := make([]*gp.GP, 0, len(donors))
+	for _, d := range donors {
+		if d != nil {
+			gs = append(gs, d.g)
+		}
+	}
+	lp, noise, ok := gp.PoolHyperparams(gs)
+	if !ok {
+		return false
+	}
+	m.g.Kern.SetLogParams(lp)
+	m.baseNoise = noise
+	if inflate < 1 {
+		inflate = 1
+	}
+	m.inflate = inflate
+	m.g.NoiseVar = noise * inflate
+	// Evenly spaced subsample of the most similar donor's raw dataset, so
+	// the virtual points span its covered input region deterministically.
+	if d := donors[0]; keep > 0 && d != nil && len(d.xs) > 0 {
+		if keep > len(d.xs) {
+			keep = len(d.xs)
+		}
+		for k := 0; k < keep; k++ {
+			i := k * len(d.xs) / keep
+			m.vxs = append(m.vxs, append([]float64(nil), d.xs[i]...))
+			m.vys = append(m.vys, d.ys[i])
+		}
+	}
+	m.forceFull = true
+	return true
+}
+
+// maybeRetire drops the virtual donor points once real measurements
+// outnumber them 2:1, restoring the base noise floor. The next refit pays
+// one full refactorization for the dataset change.
+func (m *metricGP) maybeRetire() {
+	if len(m.vxs) == 0 || len(m.xs) < 2*len(m.vxs) {
+		return
+	}
+	m.vxs, m.vys = nil, nil
+	m.g.NoiseVar = m.baseNoise
+	m.inflate = 0
+	m.forceFull = true
+}
+
+// allData returns the conditioning dataset: virtual donor points first
+// (a stable prefix, so the incremental-Cholesky path keeps working as real
+// measurements append behind them), then the model's own measurements.
+func (m *metricGP) allData() ([][]float64, []float64) {
+	if len(m.vxs) == 0 {
+		return m.xs, m.ys
+	}
+	xs := make([][]float64, 0, len(m.vxs)+len(m.xs))
+	ys := make([]float64, 0, len(m.vys)+len(m.ys))
+	xs = append(append(xs, m.vxs...), m.xs...)
+	ys = append(append(ys, m.vys...), m.ys...)
+	return xs, ys
 }
 
 // refit standardizes the targets and re-conditions the GP. A GP that is
@@ -99,37 +184,40 @@ func (m *metricGP) add(x []float64, y float64) {
 // Only the first fit and hyperparameter changes pay the full O(n³)
 // refactorization.
 func (m *metricGP) refit() error {
-	if len(m.xs) == 0 {
+	m.maybeRetire()
+	xs, ys := m.allData()
+	if len(xs) == 0 {
 		return fmt.Errorf("pamo: refit with no data")
 	}
-	sd := std(m.ys)
+	sd := std(ys)
 	if sd < 1e-12 {
-		sd = math.Abs(mean(m.ys))
+		sd = math.Abs(mean(ys))
 		if sd < 1e-12 {
 			sd = 1
 		}
 	}
 	m.scale = sd
-	scaled := make([]float64, len(m.ys))
-	for i, y := range m.ys {
+	scaled := make([]float64, len(ys))
+	for i, y := range ys {
 		scaled[i] = y / sd
 	}
-	if n := m.g.N(); n > 0 && n <= len(m.xs) {
+	if n := m.g.N(); !m.forceFull && n > 0 && n <= len(xs) {
 		first := n
-		for i := n; i < len(m.xs); i++ {
-			if err := m.g.AddObservation(m.xs[i], scaled[i]); err != nil {
+		for i := n; i < len(xs); i++ {
+			if err := m.g.AddObservation(xs[i], scaled[i]); err != nil {
 				m.cholFull.Inc()
-				return m.g.Fit(m.xs, scaled)
+				return m.g.Fit(xs, scaled)
 			}
 			m.cholInc.Inc()
 		}
 		if err := m.g.SetTargets(scaled); err != nil {
 			return err
 		}
-		return m.verifyPosterior(first)
+		return m.verifyPosterior(xs, first)
 	}
 	m.cholFull.Inc()
-	return m.g.Fit(m.xs, scaled)
+	m.forceFull = false
+	return m.g.Fit(xs, scaled)
 }
 
 // verifyPosterior guards the incremental-Cholesky fast path: after
@@ -138,11 +226,11 @@ func (m *metricGP) refit() error {
 // surfaces here immediately instead of as silently wrong acquisitions.
 // No-op without a checker (the common untelemetered configuration pays
 // nothing).
-func (m *metricGP) verifyPosterior(from int) error {
-	if m.chk == nil || from >= len(m.xs) {
+func (m *metricGP) verifyPosterior(xs [][]float64, from int) error {
+	if m.chk == nil || from >= len(xs) {
 		return nil
 	}
-	mu, cov := m.g.PredictBatch(m.xs[from:])
+	mu, cov := m.g.PredictBatch(xs[from:])
 	if err := m.chk.Finite("gp_posterior_mean", mu...); err != nil {
 		return err
 	}
@@ -219,6 +307,39 @@ func (c *clipModels) addMeasurement(cfg videosim.Config, obs videosim.Measuremen
 	c.m[mBits].add(x, obs.Bits)
 	c.m[mComp].add(x, obs.Compute)
 	c.m[mPow].add(x, obs.Power)
+}
+
+// warmFrom warm-starts every metric model from the corresponding models of
+// the donor clips (donors[0] most similar first). Reports whether every
+// metric pooled successfully; on a false return the models are a mix of
+// warm and cold, which is safe — each metricGP either pooled or kept its
+// defaults.
+func (c *clipModels) warmFrom(donors []*clipModels, keep int, inflate float64) bool {
+	all := true
+	buf := make([]*metricGP, 0, len(donors))
+	for i := range c.m {
+		buf = buf[:0]
+		for _, d := range donors {
+			if d != nil {
+				buf = append(buf, d.m[i])
+			}
+		}
+		if !c.m[i].warmFrom(buf, keep, inflate) {
+			all = false
+		}
+	}
+	return all
+}
+
+// rebind re-points a bank-persisted model set at the owning scheduler's
+// telemetry: fallback counter, Cholesky-path counters, and checker. Without
+// it a reused model would keep attributing its work to the scheduler that
+// created it.
+func (c *clipModels) rebind(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) {
+	for _, m := range c.m {
+		m.cholInc, m.cholFull, m.chk = cholInc, cholFull, chk
+		m.g.SetFallbackCounter(mvn)
+	}
 }
 
 // refit re-conditions all five GPs.

@@ -105,6 +105,25 @@ type Options struct {
 	// on survivors. Returned assignments still use the full physical server
 	// index space.
 	ServerMask []bool
+	// Models, when non-nil, persists per-clip outcome models across
+	// scheduler instances (see Bank): clips already banked reuse their
+	// conditioned models and skip initial profiling entirely; clips the
+	// bank has never seen warm-start from the most similar banked clip —
+	// pooled kernel hyperpriors plus down-weighted virtual observations —
+	// at the reduced WarmProfiles budget. Nil (the default) keeps every
+	// clip on the cold path, byte-identical to the pre-bank behavior.
+	Models *Bank
+	// WarmProfiles is the initial profiling budget for a warm-started clip
+	// (default InitProfiles/2 − 2, at least 2, so a warm start costs at most
+	// half a cold one including the two corner anchors).
+	WarmProfiles int
+	// WarmKeep is how many donor observations a warm start injects as
+	// virtual points (default 12).
+	WarmKeep int
+	// WarmNoiseInflate down-weights the virtual donor observations: while
+	// any remain, the warm model runs at this multiple of the pooled noise
+	// variance (default 25; values below 1 are clamped to 1).
+	WarmNoiseInflate float64
 }
 
 // Validate rejects option values the scheduler cannot run with. Every
@@ -128,6 +147,8 @@ func (o Options) Validate() error {
 		{"CandPool", o.CandPool},
 		{"MaxIter", o.MaxIter},
 		{"Workers", o.Workers},
+		{"WarmProfiles", o.WarmProfiles},
+		{"WarmKeep", o.WarmKeep},
 	} {
 		if f.v < 0 {
 			bad = append(bad, fmt.Sprintf("option %s is negative (%d)", f.name, f.v))
@@ -135,6 +156,9 @@ func (o Options) Validate() error {
 	}
 	if o.Delta < 0 {
 		bad = append(bad, fmt.Sprintf("Delta is negative (%v)", o.Delta))
+	}
+	if o.WarmNoiseInflate < 0 {
+		bad = append(bad, fmt.Sprintf("WarmNoiseInflate is negative (%v)", o.WarmNoiseInflate))
 	}
 	switch o.Acq {
 	case "", QNEI, QEI, QUCB, QSR:
@@ -178,6 +202,16 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProfilerNoise == 0 {
 		o.ProfilerNoise = 0.02
+	}
+	if o.WarmProfiles == 0 {
+		o.WarmProfiles = o.InitProfiles/2 - 2
+		if o.WarmProfiles < 2 {
+			o.WarmProfiles = 2
+		}
+	}
+	def(&o.WarmKeep, 12)
+	if o.WarmNoiseInflate == 0 {
+		o.WarmNoiseInflate = 25
 	}
 	return o
 }
@@ -224,6 +258,7 @@ type Scheduler struct {
 	evctx context.Context
 
 	clips          []*clipModels
+	seeds          []clipSeed
 	learner        *pref.Learner
 	obs            []Observation
 	profiles       int
@@ -259,14 +294,54 @@ func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
 	}
 	s.met = newSchedMetrics(opt.Obs.Registry())
 	s.clips = make([]*clipModels, sys.M())
+	s.seeds = make([]clipSeed, sys.M())
 	for i := range s.clips {
-		s.clips[i] = newClipModels(&s.mvn, s.met.cholInc, s.met.cholFull, opt.Check)
+		s.clips[i], s.seeds[i] = s.seedClip(sys.Clips[i])
 	}
 	if !opt.UseTruePref {
 		s.learner = pref.NewLearner(dm, opt.UseEUBO, stats.NewRNG(opt.Seed+0xE0B0))
 		s.learner.Model.SetFallbackCounter(&s.mvn)
 	}
 	return s
+}
+
+// clipSeed records how a clip's outcome models were initialized.
+type clipSeed int
+
+const (
+	seedCold clipSeed = iota // fresh models, full profiling budget
+	seedWarm                 // warm-started from a bank donor, reduced budget
+	seedBank                 // reused banked models, no initial profiling
+)
+
+// seedClip resolves one clip's outcome models against the model bank.
+// Without a bank (the default) every clip is cold — byte-identical to the
+// historical behavior. With one: an entry under the clip's own name that
+// already holds measurements is reused outright; otherwise fresh models
+// warm-start from the most similar banked clips (pooled hyperpriors from
+// up to three donors, virtual observations from the closest). The fresh
+// models are banked immediately — they are conditioned in place, so
+// whatever this run learns is what the next scheduler inherits.
+func (s *Scheduler) seedClip(clip *videosim.Clip) (*clipModels, clipSeed) {
+	b := s.opt.Models
+	if b == nil {
+		s.met.coldStarts.Inc()
+		return newClipModels(&s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check), seedCold
+	}
+	if cm, ok := b.get(clip.Name); ok && len(cm.m[mAcc].xs) > 0 {
+		cm.rebind(&s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check)
+		s.met.bankHits.Inc()
+		return cm, seedBank
+	}
+	cm := newClipModels(&s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check)
+	b.put(clip, cm)
+	if donors := b.donors(clip, 3); len(donors) > 0 &&
+		cm.warmFrom(donors, s.opt.WarmKeep, s.opt.WarmNoiseInflate) {
+		s.met.warmStarts.Inc()
+		return cm, seedWarm
+	}
+	s.met.coldStarts.Inc()
+	return cm, seedCold
 }
 
 // Run executes Algorithm 2 end to end and returns the best decision found.
@@ -471,8 +546,19 @@ func (s *Scheduler) profileInit() error {
 	s.rec.Do(s.ctx, "profiling", func(ctx context.Context) {
 		_, sp := s.rec.StartSpanCtx(ctx, "profiling", obs.F("clips", float64(s.sys.M())))
 		for ci, clip := range s.sys.Clips {
+			if s.seeds[ci] == seedBank {
+				// Already conditioned by a previous scheduler run sharing
+				// the model bank; no initial profiling to repay.
+				continue
+			}
+			budget := s.opt.InitProfiles
+			if s.seeds[ci] == seedWarm {
+				// Warm-started: the donor's pooled hyperpriors and virtual
+				// observations stand in for most of the cold budget.
+				budget = s.opt.WarmProfiles
+			}
 			// Latin-hypercube over the knob grid, snapped to grid points.
-			pts := stats.LatinHypercube(s.opt.InitProfiles, 3, s.rng)
+			pts := stats.LatinHypercube(budget, 3, s.rng)
 			for _, p := range pts {
 				cfg := videosim.Config{
 					Resolution: snap(videosim.Resolutions, p[0]),
@@ -501,7 +587,7 @@ func (s *Scheduler) profileInit() error {
 			if err = s.clips[ci].refit(); err != nil {
 				return
 			}
-			if s.opt.OptimizeHyper {
+			if s.opt.OptimizeHyper && s.seeds[ci] != seedBank {
 				for _, mg := range s.clips[ci].m {
 					if err = mg.optimize(2, s.rng); err != nil {
 						return

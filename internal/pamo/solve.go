@@ -388,7 +388,7 @@ func (s *Scheduler) observe(c candidate) (Observation, error) {
 	// Every decision the scheduler emits must satisfy the exact feasibility
 	// constraints under the processing times it was PLANNED with; a failure
 	// here is an Algorithm 1 bug, so it is a hard error under -strict.
-	if err := s.opt.Check.VerifyAssignment(c.streams, c.plan.StreamServer, s.sys.N()); err != nil {
+	if err := s.opt.Check.VerifyAssignmentServers(c.streams, c.plan.StreamServer, s.sys.Servers); err != nil {
 		return Observation{}, fmt.Errorf("pamo: planned decision: %w", err)
 	}
 	// The deployed streams keep the plan's periods/splitting but the
@@ -411,7 +411,7 @@ func (s *Scheduler) observe(c candidate) (Observation, error) {
 	// The same decision under TRUE processing times: a violation here is
 	// model error (estimated p below truth), which is an expected operating
 	// condition to surface in check_* metrics, never a hard failure.
-	s.opt.Check.Relaxed().VerifyDecision(dec, s.sys.N())
+	s.opt.Check.Relaxed().VerifyDecisionServers(dec, s.sys.Servers)
 	raw := eva.Evaluate(s.sys, dec)
 	norm := s.norm.Normalize(raw)
 	if err := s.opt.Check.Finite("measured_outcomes", raw.Slice()...); err != nil {
@@ -475,7 +475,7 @@ func (s *Scheduler) zeroJitterOffsets(streams []sched.Stream, plan sched.Plan) [
 				Bits:   streams[si].Bits,
 			}
 		}
-		specs = cluster.ZeroJitterOffsets(specs, srv.Uplink)
+		specs = cluster.ZeroJitterOffsetsOn(specs, srv)
 		for k, si := range members {
 			offsets[si] = specs[k].Offset
 		}

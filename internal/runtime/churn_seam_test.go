@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// TestSplitStreamOpsCanonicalizes pins the drain-batch canonical form:
+// deregisters split out before registers, each phase sorted by name, so the
+// transport's delivery order can never change what a batch means.
+func TestSplitStreamOpsCanonicalizes(t *testing.T) {
+	ops := []StreamOp{
+		{Add: MintClip("cam-b", 1)},
+		{Remove: "cam-z"},
+		{Add: MintClip("cam-a", 1)},
+		{Remove: "cam-c"},
+	}
+	removes, adds := splitStreamOps(ops)
+	if !reflect.DeepEqual(removes, []string{"cam-c", "cam-z"}) {
+		t.Fatalf("removes = %v", removes)
+	}
+	if len(adds) != 2 || adds[0].Name != "cam-a" || adds[1].Name != "cam-b" {
+		t.Fatalf("adds = %v", adds)
+	}
+}
+
+// TestStreamOpsCanonicalOrder is the regression for the op-ordering bug: a
+// same-epoch deregister+register of one stream name must net out to
+// "replace" no matter which order the op source's transport delivered the
+// pair. Before canonicalization, [register cam-X', deregister cam-X]
+// applied in order dropped the replacement (the deregister matched the
+// freshly registered name), while the reverse order replaced — the same
+// logical batch produced two different fleets.
+func TestStreamOpsCanonicalOrder(t *testing.T) {
+	run := func(ops []StreamOp) (*Trace, *Controller) {
+		sys := testSys(4, 3)
+		c := controller(sys, zeroJitterScheduler(), 100)
+		c.Ops = &scriptedOps{at: 2, ops: ops}
+		tr, err := c.Run(context.Background(), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, c
+	}
+	gone := testSys(4, 3).Clips[0].Name
+	replacement := MintClip(gone, 12345)
+
+	trA, cA := run([]StreamOp{{Remove: gone}, {Add: replacement}})
+	trB, cB := run([]StreamOp{{Add: replacement}, {Remove: gone}})
+
+	for name, c := range map[string]*Controller{"remove-first": cA, "add-first": cB} {
+		if c.Sys.M() != 4 {
+			t.Fatalf("%s: M = %d after paired remove/add, want 4", name, c.Sys.M())
+		}
+		found := false
+		for _, clip := range c.Sys.Clips {
+			if clip.Name == gone {
+				found = true
+				if !reflect.DeepEqual(clip, replacement) {
+					t.Fatalf("%s: %q kept the old clip — replacement dropped", name, gone)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s: %q missing — stream dropped instead of replaced", name, gone)
+		}
+	}
+	if !reflect.DeepEqual(cA.Sys, cB.Sys) {
+		t.Fatal("op order changed the resulting system")
+	}
+	if !reflect.DeepEqual(trA, trB) {
+		t.Fatal("op order changed the run trace")
+	}
+}
+
+// TestChurnUnderFaultsAvoidsMaskedServers registers a new camera while a
+// server is down, with the incremental fast path on and the strict checker
+// auditing every installed decision. Whichever path places the arrival —
+// exact admission plus the Hungarian re-map, or the full fallback — no
+// stream may land on the masked server for any outage epoch, and the
+// arrival must survive to the end of the run.
+func TestChurnUnderFaultsAvoidsMaskedServers(t *testing.T) {
+	sys := testSys(4, 3)
+	rec := obs.NewRecorder(nil)
+	defer rec.Close()
+	sc := &fault.Scenario{Events: []fault.Event{
+		{Epoch: 3, Action: fault.ServerDown, Target: 1},
+		{Epoch: 7, Action: fault.ServerUp, Target: 1},
+	}}
+	inj, err := fault.NewInjector(sc, sys.N(), sys.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := controller(sys, zeroJitterScheduler(), 2)
+	c.Faults = inj
+	c.Obs = rec
+	c.Opt.Incremental = true
+	c.Opt.Check = check.New(true, rec)
+	c.Ops = &scriptedOps{at: 4, ops: []StreamOp{{Add: MintClip("cam-late", 7)}}}
+
+	trace, err := c.Run(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Reports[4].Replanned {
+		t.Fatal("churn epoch 4 did not replan")
+	}
+	for _, r := range trace.Reports {
+		if r.Epoch >= 3 && r.Epoch < 7 && r.ServerStreams[1] != 0 {
+			t.Fatalf("epoch %d: %d streams on the down server", r.Epoch, r.ServerStreams[1])
+		}
+	}
+	if c.Sys.M() != 5 {
+		t.Fatalf("M = %d after the arrival, want 5", c.Sys.M())
+	}
+	names := map[string]bool{}
+	for _, clip := range c.Sys.Clips {
+		names[clip.Name] = true
+	}
+	if !names["cam-late"] {
+		t.Fatal("arrival vanished from the system")
+	}
+	reg := rec.Registry()
+	if v := reg.Counter("runtime_churn_ops_total").Value(); v != 1 {
+		t.Fatalf("churn ops = %v, want 1", v)
+	}
+	if v := reg.Counter("runtime_churn_epochs_total").Value(); v != 1 {
+		t.Fatalf("churn epochs = %v, want 1", v)
+	}
+}

@@ -207,6 +207,16 @@ type Options struct {
 	// usual. Off by default: incremental plans freeze the configuration
 	// search, trading plan optimality for replan latency.
 	Incremental bool
+	// FullResolveEvery, with Incremental on, forces every k-th epoch's
+	// replan to skip the fast path and invoke the scheduler from scratch —
+	// a periodic configuration refresh. Incremental replans keep the
+	// frozen configurations forever; under stream churn and content drift
+	// the frozen choice decays, so long-running deployments alternate
+	// cheap incremental epochs with an occasional full re-optimization
+	// (which also re-profiles arrivals admitted on borrowed
+	// configurations, warm-starting their outcome models from the bank).
+	// 0 disables the refresh.
+	FullResolveEvery int
 	// Shards > 1 routes replans through the sharded control plane when the
 	// scheduler implements CellDecider: videos are partitioned into cells,
 	// each cell decides its configurations concurrently, and placement is
@@ -298,6 +308,9 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 	driftGauge := reg.Gauge("runtime_drift")
 	jitterHist := reg.Histogram("runtime_epoch_jitter_seconds", obs.DefBuckets)
 	churnOps := reg.Counter("runtime_churn_ops_total")
+	churnEpochs := reg.Counter("runtime_churn_epochs_total")
+	churnFast := reg.Counter("runtime_churn_fast_total")
+	churnResolve := reg.Counter("runtime_churn_resolve_total")
 	faultEventsTotal := reg.Counter("fault_events_total")
 	serversDownGauge := reg.Gauge("fault_servers_down")
 	camerasStalledGauge := reg.Gauge("fault_cameras_stalled")
@@ -325,17 +338,37 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		ectx, esp := c.Obs.StartSpanCtx(ctx, "epoch", obs.F("epoch", float64(epoch)))
 
 		// Stream churn first: register/deregister ops change the system the
-		// rest of the epoch (fault masks, replan, evaluation) must see.
+		// rest of the epoch (fault masks, replan, evaluation) must see. With
+		// the incremental option on, churn tries the admit/evict fast path —
+		// departures shrink the frozen grouping, arrivals slot into groups
+		// whose exact Const2 budget still holds, and this epoch's replan runs
+		// incrementally. Any decline falls back to invalidating the decision
+		// (a full resolve), exactly the pre-incremental behaviour.
+		churned := false
+		churnWarm := false
 		if c.Ops != nil {
 			if ops := c.Ops.Drain(epoch); len(ops) > 0 {
-				c.applyStreamOps(ops)
-				n = c.Sys.N()
-				haveDecision = false
-				rp.Invalidate()
+				churned = true
 				churnOps.Add(uint64(len(ops)))
+				churnEpochs.Inc()
+				removes, adds := splitStreamOps(ops)
+				if opt.Incremental && haveDecision {
+					mask := c.healthSource().State().Healthy()
+					if d, ok := c.churnAdmitEvict(rp, removes, adds, current, mask); ok {
+						current = d
+						churnWarm = true
+					}
+				}
+				if !churnWarm {
+					c.applyCanonicalOps(removes, adds)
+					haveDecision = false
+					rp.Invalidate()
+				}
+				n = c.Sys.N()
 				c.Obs.EventCtx(ectx, "stream_churn",
 					obs.F("epoch", float64(epoch)),
 					obs.F("ops", float64(len(ops))),
+					obs.F("warm", boolField(churnWarm)),
 					obs.F("videos", float64(c.Sys.M())))
 			}
 		}
@@ -377,14 +410,15 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 		attempts := 0
 		var sstats shard.Stats
 		dropTriggered := dropPending
-		if !haveDecision || epoch%opt.ReplanEvery == 0 || dropPending || topologyChanged {
+		if !haveDecision || epoch%opt.ReplanEvery == 0 || dropPending || topologyChanged || churned {
 			if topologyChanged {
 				replansForced.Inc()
 			}
 			incInstalled := false
-			if opt.Incremental && haveDecision {
+			fullDue := opt.FullResolveEvery > 0 && epoch > 0 && epoch%opt.FullResolveEvery == 0
+			if opt.Incremental && haveDecision && !fullDue {
 				if d, ok := c.incrementalReplan(ectx, rp, drifted, current, healthy); ok && decisionValid(d, healthy, n) == nil {
-					if verr := opt.Check.VerifyDecision(d, n); verr != nil {
+					if verr := opt.Check.VerifyDecisionServers(d, c.Sys.Servers); verr != nil {
 						return trace, fmt.Errorf("runtime: epoch %d: incremental decision: %w", epoch, verr)
 					}
 					current = d
@@ -418,7 +452,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 				sp.End()
 				switch {
 				case err == nil:
-					if verr := opt.Check.VerifyDecision(d, n); verr != nil {
+					if verr := opt.Check.VerifyDecisionServers(d, c.Sys.Servers); verr != nil {
 						return trace, fmt.Errorf("runtime: epoch %d: scheduler decision: %w", epoch, verr)
 					}
 					current = d
@@ -447,6 +481,16 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 					replansFailed.Inc()
 				}
 			}
+			if churned {
+				// A churn epoch "avoids a full resolve" exactly when the
+				// admit/evict fast path held AND the incremental replan
+				// installed — the hit rate the churn bench gates on.
+				if churnWarm && incInstalled {
+					churnFast.Inc()
+				} else {
+					churnResolve.Inc()
+				}
+			}
 		}
 
 		// Graceful degradation: when the workload no longer fits the
@@ -459,7 +503,7 @@ func (c *Controller) Run(ctx context.Context, epochs int) (*Trace, error) {
 				base = current.Configs
 			}
 			current = c.degrade(drifted, healthy, base, current.Shed, current.Downgraded)
-			if verr := opt.Check.VerifyDecision(current, n); verr != nil {
+			if verr := opt.Check.VerifyDecisionServers(current, c.Sys.Servers); verr != nil {
 				return trace, fmt.Errorf("runtime: epoch %d: degraded decision: %w", epoch, verr)
 			}
 			haveDecision = true
@@ -712,24 +756,29 @@ func (c *Controller) healthSource() HealthSource {
 }
 
 // applyStreamOps rebuilds the controller's system for this epoch's stream
-// churn: removals drop clips by name, additions append. The clip slice is
-// copied (callers may hold the old system) and the benefit normalizer is
-// rebuilt — benefit values are comparable only within a fixed stream set.
+// churn in canonical order — all deregisters first, then all registers,
+// each phase name-sorted (see splitStreamOps) — so the outcome is
+// independent of Drain's slice order.
 func (c *Controller) applyStreamOps(ops []StreamOp) {
+	removes, adds := splitStreamOps(ops)
+	c.applyCanonicalOps(removes, adds)
+}
+
+// applyCanonicalOps applies an already-canonicalized op batch: removals
+// drop clips by name, additions append. The clip slice is copied (callers
+// may hold the old system) and the benefit normalizer is rebuilt — benefit
+// values are comparable only within a fixed stream set.
+func (c *Controller) applyCanonicalOps(removes []string, adds []*videosim.Clip) {
 	clips := append([]*videosim.Clip(nil), c.Sys.Clips...)
-	for _, op := range ops {
-		if op.Remove != "" {
-			for i, clip := range clips {
-				if clip.Name == op.Remove {
-					clips = append(clips[:i], clips[i+1:]...)
-					break
-				}
+	for _, name := range removes {
+		for i, clip := range clips {
+			if clip.Name == name {
+				clips = append(clips[:i], clips[i+1:]...)
+				break
 			}
 		}
-		if op.Add != nil {
-			clips = append(clips, op.Add)
-		}
 	}
+	clips = append(clips, adds...)
 	c.Sys = &objective.System{Clips: clips, Servers: c.Sys.Servers}
 	c.Norm = objective.NewNormalizer(c.Sys)
 }
@@ -941,7 +990,7 @@ func (c *Controller) evaluate(ctx context.Context, sys *objective.System, d eva.
 			liveStreams = append(liveStreams, s)
 			liveAssign = append(liveAssign, d.Assign[i])
 		}
-		_ = chk.Relaxed().VerifyAssignment(liveStreams, liveAssign, sys.N())
+		_ = chk.Relaxed().VerifyAssignmentServers(liveStreams, liveAssign, sys.Servers)
 	}
 
 	var v objective.Vector

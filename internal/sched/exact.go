@@ -107,5 +107,9 @@ func ExactSchedule(streams []Stream, servers []cluster.Server) (Plan, bool) {
 	if !ok {
 		return Plan{}, false
 	}
-	return MapGroups(groups, streams, servers), true
+	plan, err := MapGroups(groups, streams, servers)
+	if err != nil {
+		return Plan{}, false
+	}
+	return plan, true
 }

@@ -34,6 +34,7 @@ type Replanner struct {
 	streams []Stream   // adopted workload; periods are authoritative
 	groups  [][]int    // adopted grouping (deep copy)
 	gcds    []*big.Rat // per-group exact gcd of member periods
+	ratGcds []Rational // the same gcds in Rational form, for Admit's divisibility tests
 
 	solver hungarian.Solver
 	// Exact Σ proc scratch: float64 processing times are dyadic rationals
@@ -44,8 +45,11 @@ type Replanner struct {
 	sum, tmpInt, lhs, rhs big.Int
 	cost                  [][]float64
 	flat                  []float64
-	rows                  []int // group indices entering the assignment problem
-	cols                  []int // physical indices of healthy servers
+	rows                  []int  // group indices entering the assignment problem
+	cols                  []int  // physical indices of healthy servers
+	seen                  []bool // Adopt's membership-coverage scratch
+	remap                 []int  // Evict's old→new index scratch
+	mtmp                  []int  // Admit's trial-membership scratch
 }
 
 // NewReplanner returns an empty replanner; the first Replan always runs a
@@ -109,17 +113,48 @@ func (r *Replanner) Replan(streams []Stream, servers []cluster.Server, healthy [
 // plan must be a feasible schedule of streams (as produced by Schedule,
 // ScheduleMasked, or a verified external decision); streams and grouping are
 // deep-copied.
+//
+// The grouping is keyed by stream index, so a plan whose membership does not
+// exactly cover streams — stale indices after an eviction shrank the slice,
+// a duplicate, or a gap — would silently wire the wrong stream into a group
+// (or index out of range on the next Incremental). Adopt therefore validates
+// coverage first and invalidates the baseline instead of corrupting it.
 func (r *Replanner) Adopt(streams []Stream, plan Plan) {
+	if cap(r.seen) < len(streams) {
+		r.seen = make([]bool, len(streams))
+	}
+	r.seen = r.seen[:len(streams)]
+	for i := range r.seen {
+		r.seen[i] = false
+	}
+	for _, members := range plan.Groups {
+		for _, si := range members {
+			if si < 0 || si >= len(streams) || r.seen[si] {
+				r.valid = false
+				return
+			}
+			r.seen[si] = true
+		}
+	}
+	for _, ok := range r.seen {
+		if !ok {
+			r.valid = false
+			return
+		}
+	}
 	r.streams = append(r.streams[:0], streams...)
 	if cap(r.groups) < len(plan.Groups) {
 		r.groups = make([][]int, len(plan.Groups))
 	}
 	r.groups = r.groups[:len(plan.Groups)]
 	r.gcds = r.gcds[:0]
+	r.ratGcds = r.ratGcds[:0]
 	for g, members := range plan.Groups {
 		r.groups[g] = append(r.groups[g][:0], members...)
 		if len(members) == 0 {
-			r.gcds = append(r.gcds, nil) // empty group: no Const2 budget to check
+			// Empty group: no Const2 budget to check.
+			r.gcds = append(r.gcds, nil)
+			r.ratGcds = append(r.ratGcds, Rational{})
 			continue
 		}
 		gcd := Rational{}
@@ -127,6 +162,7 @@ func (r *Replanner) Adopt(streams []Stream, plan Plan) {
 			gcd = RatGCD(gcd, streams[si].Period)
 		}
 		r.gcds = append(r.gcds, gcd.BigRat())
+		r.ratGcds = append(r.ratGcds, gcd)
 	}
 	r.valid = true
 }
@@ -139,12 +175,22 @@ func (r *Replanner) Adopt(streams []Stream, plan Plan) {
 // nothing once the scratch has grown. Non-finite processing times report
 // false — the caller treats the drift as unverifiable and falls back.
 func (r *Replanner) procSumWithinBudget(streams []Stream, members []int, budget *big.Rat) bool {
+	shift, ok := r.accumProcSum(streams, members)
+	if !ok {
+		return false
+	}
+	return r.sumWithinBudget(budget, 1, shift)
+}
+
+// accumProcSum accumulates Σ streams[si].Proc over members into the scratch
+// as r.sum/2^shift, exactly, returning the shift. ok=false on a non-finite
+// processing time.
+func (r *Replanner) accumProcSum(streams []Stream, members []int) (shift uint, ok bool) {
 	r.sum.SetInt64(0)
-	shift := uint(0)
 	for _, si := range members {
 		p := streams[si].Proc
 		if math.IsNaN(p) || math.IsInf(p, 0) {
-			return false
+			return 0, false
 		}
 		fr, exp := math.Frexp(p) // p = fr·2^exp, |fr| ∈ [0.5, 1) or 0
 		mant := int64(fr * (1 << 53))
@@ -160,8 +206,32 @@ func (r *Replanner) procSumWithinBudget(streams []Stream, members []int, budget 
 		}
 		r.sum.Add(&r.sum, &r.tmpInt)
 	}
+	return shift, true
+}
+
+// sumWithinBudget reports r.sum/2^shift ≤ budget·speed exactly. The speed
+// factor is a float64 and hence a dyadic rational mant·2^e, so the scaled
+// budget stays exact and the comparison is a cross-multiplication. speed 1
+// is the homogeneous case; non-finite or non-positive speeds report false.
+// r.sum is read-only here, so one accumulation settles many servers.
+func (r *Replanner) sumWithinBudget(budget *big.Rat, speed float64, shift uint) bool {
 	r.lhs.Mul(&r.sum, budget.Denom())
-	r.rhs.Lsh(budget.Num(), shift)
+	if speed == 1 {
+		r.rhs.Lsh(budget.Num(), shift)
+		return r.lhs.Cmp(&r.rhs) <= 0
+	}
+	if math.IsNaN(speed) || math.IsInf(speed, 0) || speed <= 0 {
+		return false
+	}
+	fr, exp := math.Frexp(speed) // speed = mant·2^(exp−53) exactly
+	r.tmpInt.SetInt64(int64(fr * (1 << 53)))
+	r.rhs.Mul(budget.Num(), &r.tmpInt)
+	if e := exp - 53; e >= 0 {
+		r.rhs.Lsh(&r.rhs, shift+uint(e))
+	} else {
+		r.rhs.Lsh(&r.rhs, shift)
+		r.lhs.Lsh(&r.lhs, uint(-e))
+	}
 	return r.lhs.Cmp(&r.rhs) <= 0
 }
 
@@ -186,13 +256,19 @@ func (r *Replanner) Incremental(streams []Stream, servers []cluster.Server, heal
 	}
 	// Const2 with drifted processing times, exactly: per group,
 	// Σ proc ≤ gcd(periods). Since the gcd divides every member period this
-	// also implies Const1 (Σ p_i/T_i ≤ Σ p_i/gcd ≤ 1).
-	for g, members := range r.groups {
-		if len(members) == 0 {
-			continue
-		}
-		if !r.procSumWithinBudget(streams, members, r.gcds[g]) {
-			return Plan{}, false
+	// also implies Const1 (Σ p_i/T_i ≤ Σ p_i/gcd ≤ 1). On a heterogeneous
+	// cluster the budget is per server class (gcd·speed_j), so the global
+	// pre-check is skipped and each (group, server) cell is checked exactly
+	// while the cost matrix is built below.
+	het := hetero(servers)
+	if !het {
+		for g, members := range r.groups {
+			if len(members) == 0 {
+				continue
+			}
+			if !r.procSumWithinBudget(streams, members, r.gcds[g]) {
+				return Plan{}, false
+			}
 		}
 	}
 	// Healthy columns in physical index order — the same order a masked full
@@ -243,13 +319,30 @@ func (r *Replanner) Incremental(streams []Stream, servers []cluster.Server, heal
 		row := r.flat[ri*nc : (ri+1)*nc]
 		r.cost[ri] = row
 		var bits float64
+		mask := false // per-column exact Const2 masking (hetero only)
 		if ri < nr {
-			for _, si := range r.groups[r.rows[ri]] {
+			members := r.groups[r.rows[ri]]
+			for _, si := range members {
 				bits += streams[si].Bits
+			}
+			if het && len(members) > 0 {
+				shift, ok := r.accumProcSum(streams, members)
+				if !ok {
+					return Plan{}, false
+				}
+				for ci, j := range r.cols {
+					row[ci] = 0
+					if !r.sumWithinBudget(r.gcds[r.rows[ri]], servers[j].Speed(), shift) {
+						row[ci] = math.Inf(1)
+					}
+				}
+				mask = true
 			}
 		}
 		for ci, j := range r.cols {
 			switch {
+			case mask && math.IsInf(row[ci], 1):
+				// speed-infeasible (group, server) pair stays masked
 			case servers[j].Uplink > 0:
 				row[ci] = bits / servers[j].Uplink
 			case bits > 0:
@@ -260,6 +353,15 @@ func (r *Replanner) Incremental(streams []Stream, servers []cluster.Server, heal
 		}
 	}
 	assign, total := r.solver.Solve(r.cost)
+	if het {
+		// A forced Inf assignment means no server class fits some group:
+		// decline so the caller falls back to a full (re-grouping) solve.
+		for ri := 0; ri < nr; ri++ {
+			if math.IsInf(r.cost[ri][assign[ri]], 1) {
+				return Plan{}, false
+			}
+		}
+	}
 
 	plan := Plan{
 		Groups:       make([][]int, nr),
@@ -282,4 +384,229 @@ func (r *Replanner) Incremental(streams []Stream, servers []cluster.Server, heal
 		}
 	}
 	return plan, true
+}
+
+// Evict removes every stream i with remove[i] from the adopted baseline
+// without a re-solve. Removal only shrinks a group's Σ proc and can only
+// coarsen (raise) its period gcd, so the frozen grouping stays feasible by
+// construction — groups shrink in place (possibly to empty) and surviving
+// member indices are remapped onto the compacted stream slice. Reports
+// false, leaving the baseline untouched, only when there is no valid
+// baseline or the mask has the wrong length.
+func (r *Replanner) Evict(remove []bool) bool {
+	if !r.valid || len(remove) != len(r.streams) {
+		return false
+	}
+	if cap(r.remap) < len(r.streams) {
+		r.remap = make([]int, len(r.streams))
+	}
+	r.remap = r.remap[:len(r.streams)]
+	n := 0
+	for i := range r.streams {
+		if remove[i] {
+			r.remap[i] = -1
+			continue
+		}
+		r.remap[i] = n
+		r.streams[n] = r.streams[i]
+		n++
+	}
+	if n == len(r.streams) {
+		return true // nothing flagged
+	}
+	r.streams = r.streams[:n]
+	for g, members := range r.groups {
+		k := 0
+		dropped := false
+		for _, si := range members {
+			ni := r.remap[si]
+			if ni < 0 {
+				dropped = true
+				continue
+			}
+			members[k] = ni
+			k++
+		}
+		r.groups[g] = members[:k]
+		if !dropped {
+			continue // same membership, same gcd
+		}
+		if k == 0 {
+			r.gcds[g] = nil
+			r.ratGcds[g] = Rational{}
+			continue
+		}
+		gcd := Rational{}
+		for _, si := range r.groups[g] {
+			gcd = RatGCD(gcd, r.streams[si].Period)
+		}
+		r.gcds[g] = gcd.BigRat()
+		r.ratGcds[g] = gcd
+		if r.rec != nil {
+			r.rec.Registry().Counter("sched_evict_regcd_total").Inc()
+		}
+	}
+	if r.rec != nil {
+		r.rec.Registry().Counter("sched_evict_total").Inc()
+	}
+	return true
+}
+
+// Admit inserts the arriving stream into the adopted baseline without a
+// full resolve, preferring an existing group whose exact Const2 budget
+// still holds. Group compatibility keeps the gcd structure intact: either
+// the new period is an integer multiple of the group gcd (gcd unchanged),
+// or the gcd is a multiple of the new period (gcd refines to it) — an
+// unrelated period would collapse the gcd and starve the whole group. The
+// budget check is the exact dyadic Σ proc + p ≤ gcd' · maxSpeed over the
+// healthy servers; that is a necessary condition, and the subsequent
+// Incremental call settles the exact per-server placement (masking
+// speed-infeasible pairs), declining — and thereby forcing the caller's
+// full-resolve fallback — if the Hungarian assignment cannot realize it.
+// When no group fits, a new singleton group opens, provided a healthy
+// server column remains for it. Returns the group index the stream joined
+// and ok; on ok=false the baseline is unchanged.
+func (r *Replanner) Admit(s Stream, servers []cluster.Server, healthy []bool) (int, bool) {
+	g, ok := r.admit(s, servers, healthy)
+	if r.rec != nil {
+		reg := r.rec.Registry()
+		reg.Counter("sched_admit_total").Inc()
+		if !ok {
+			reg.Counter("sched_admit_declined_total").Inc()
+		}
+	}
+	return g, ok
+}
+
+func (r *Replanner) admit(s Stream, servers []cluster.Server, healthy []bool) (int, bool) {
+	if !r.valid || s.Period.Num <= 0 || s.Period.Den <= 0 {
+		return -1, false
+	}
+	if math.IsNaN(s.Proc) || math.IsInf(s.Proc, 0) || s.Proc < 0 {
+		return -1, false
+	}
+	if healthy != nil && len(healthy) != len(servers) {
+		return -1, false
+	}
+	maxSpd := 0.0
+	nHealthy := 0
+	for j := range servers {
+		if healthy == nil || healthy[j] {
+			nHealthy++
+			if spd := servers[j].Speed(); spd > maxSpd {
+				maxSpd = spd
+			}
+		}
+	}
+	if nHealthy == 0 {
+		return -1, false
+	}
+
+	// Tentatively append so the trial membership can be summed uniformly;
+	// popped again on decline.
+	r.streams = append(r.streams, s)
+	si := len(r.streams) - 1
+
+	// Pass 0: groups the new period slots into without changing the gcd.
+	// Pass 1: groups whose gcd refines to the new period. First fit within a
+	// pass — deterministic, and Algorithm 1's period-sorted construction
+	// means earlier groups hold the longer periods (the roomier budgets).
+	for pass := 0; pass < 2; pass++ {
+		for g, members := range r.groups {
+			if len(members) == 0 {
+				continue
+			}
+			gcd := r.ratGcds[g]
+			if pass == 0 {
+				if !s.Period.IsMultipleOf(gcd) {
+					continue
+				}
+			} else {
+				if s.Period.IsMultipleOf(gcd) || !gcd.IsMultipleOf(s.Period) {
+					continue
+				}
+			}
+			newGcd := RatGCD(gcd, s.Period)
+			r.mtmp = append(r.mtmp[:0], members...)
+			r.mtmp = append(r.mtmp, si)
+			shift, ok := r.accumProcSum(r.streams, r.mtmp)
+			if !ok {
+				continue
+			}
+			budget := newGcd.BigRat()
+			if !r.sumWithinBudget(budget, maxSpd, shift) {
+				continue
+			}
+			r.groups[g] = append(r.groups[g], si)
+			r.gcds[g] = budget
+			r.ratGcds[g] = newGcd
+			if r.rec != nil {
+				r.rec.Registry().Counter("sched_admit_hits_total").Inc()
+			}
+			return g, true
+		}
+	}
+
+	// No compatible group: open a singleton, reusing an empty slot when one
+	// exists so the plan shape (and Hungarian tie-breaking) stays stable.
+	// The stream must fit the fastest healthy server on its own, and a
+	// server column must remain for the extra non-empty group.
+	nonEmpty := 0
+	slot := -1
+	for g, members := range r.groups {
+		if len(members) > 0 {
+			nonEmpty++
+		} else if slot < 0 {
+			slot = g
+		}
+	}
+	r.mtmp = append(r.mtmp[:0], si)
+	shift, ok := r.accumProcSum(r.streams, r.mtmp)
+	if !ok || nonEmpty >= nHealthy || !r.sumWithinBudget(s.Period.BigRat(), maxSpd, shift) {
+		r.streams = r.streams[:si]
+		return -1, false
+	}
+	if slot < 0 {
+		r.groups = append(r.groups, nil)
+		r.gcds = append(r.gcds, nil)
+		r.ratGcds = append(r.ratGcds, Rational{})
+		slot = len(r.groups) - 1
+	}
+	r.groups[slot] = append(r.groups[slot][:0], si)
+	r.gcds[slot] = s.Period.BigRat()
+	r.ratGcds[slot] = s.Period
+	if r.rec != nil {
+		r.rec.Registry().Counter("sched_admit_new_group_total").Inc()
+	}
+	return slot, true
+}
+
+// Streams returns the adopted baseline workload (nil when invalid). The
+// slice is the replanner's own — callers must treat it as read-only.
+func (r *Replanner) Streams() []Stream {
+	if !r.valid {
+		return nil
+	}
+	return r.streams
+}
+
+// RemapVideos rewrites the adopted streams' Video indices through remap
+// (old → new). The runtime calls this after an eviction compacted its clip
+// slice, so the baseline keeps matching the caller's post-churn indexing —
+// Incremental compares stream identity field by field. A reference to a
+// removed (negative) or out-of-range entry invalidates the baseline: it
+// means the eviction mask and the remap disagree.
+func (r *Replanner) RemapVideos(remap []int) bool {
+	if !r.valid {
+		return false
+	}
+	for i := range r.streams {
+		v := r.streams[i].Video
+		if v < 0 || v >= len(remap) || remap[v] < 0 {
+			r.valid = false
+			return false
+		}
+		r.streams[i].Video = remap[v]
+	}
+	return true
 }

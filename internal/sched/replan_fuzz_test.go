@@ -153,7 +153,10 @@ func FuzzReplanVsSchedule(f *testing.F) {
 		for k, j := range cols {
 			sub[k] = servers[j]
 		}
-		oracle := MapGroups(rows, streams, sub)
+		oracle, err := MapGroups(rows, streams, sub)
+		if err != nil {
+			t.Fatalf("oracle MapGroups: %v", err)
+		}
 		if len(plan.Groups) != len(rows) || len(plan.GroupServer) != len(cols) {
 			t.Fatalf("incremental plan shape %d groups/%d assignments, oracle %d/%d",
 				len(plan.Groups), len(plan.GroupServer), len(rows), len(cols))

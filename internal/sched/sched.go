@@ -260,15 +260,88 @@ func buildCosts(cost [][]float64, groups [][]int, streams []Stream, servers []cl
 	wg.Wait()
 }
 
+// hetero reports whether any server runs at an effective speed other than
+// 1 — the case where the shared-gcd group budget must be re-checked per
+// server class.
+func hetero(servers []cluster.Server) bool {
+	for _, s := range servers {
+		if s.Speed() != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// maskSpeedInfeasible overwrites cost cells whose (group, server) pair
+// violates the speed-scaled Const2 — Σ_{i∈G} pᵢ ≤ gcd(T_G) · speed_j,
+// checked exactly (procs are dyadic rationals, speeds are dyadic floats) —
+// with +Inf so the Hungarian matching can never land a group on a server
+// class too slow to run it without self-queueing. Servers at speed 1 are
+// skipped: the grouping phase already enforced Σp ≤ gcd there.
+func maskSpeedInfeasible(cost [][]float64, groups [][]int, streams []Stream, servers []cluster.Server) {
+	sums := make([]*big.Rat, len(groups))
+	gcds := make([]Rational, len(groups))
+	for g, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		sum := new(big.Rat)
+		var gcd Rational
+		finite := true
+		for _, si := range members {
+			p := ratFromFloat(streams[si].Proc)
+			if p == nil {
+				finite = false
+				break
+			}
+			sum.Add(sum, p)
+			gcd = RatGCD(gcd, streams[si].Period)
+		}
+		if finite {
+			sums[g], gcds[g] = sum, gcd
+		}
+	}
+	budget := new(big.Rat)
+	for j, srv := range servers {
+		spd := srv.Speed()
+		if spd == 1 {
+			continue
+		}
+		spdR := ratFromFloat(spd)
+		for g := range groups {
+			if sums[g] == nil {
+				continue
+			}
+			budget.Mul(gcds[g].BigRat(), spdR)
+			if sums[g].Cmp(budget) > 0 {
+				cost[g][j] = math.Inf(1)
+			}
+		}
+	}
+}
+
 // MapGroups runs line 20 of Algorithm 1: assign groups to servers with the
 // Hungarian algorithm, minimizing the total transmission latency
-// Σ_{i∈G_j} bits_i/B_{q_j}.
-func MapGroups(groups [][]int, streams []Stream, servers []cluster.Server) Plan {
+// Σ_{i∈G_j} bits_i/B_{q_j}. On heterogeneous clusters, (group, server)
+// pairs violating the speed-scaled Const2 are masked out of the matching;
+// when no complete matching avoids the masked cells the result is a
+// wrapped ErrInfeasible.
+func MapGroups(groups [][]int, streams []Stream, servers []cluster.Server) (Plan, error) {
 	n := len(servers)
 	sc := mapPool.Get().(*mapScratch)
 	cost := sc.matrix(n, n)
 	buildCosts(cost, groups, streams, servers)
+	if hetero(servers) {
+		maskSpeedInfeasible(cost, groups, streams, servers)
+	}
 	assign, total := sc.solver.Solve(cost)
+	var infeasible int
+	for g, members := range groups {
+		if len(members) > 0 && math.IsInf(cost[g][assign[g]], 1) {
+			infeasible = len(members)
+			break
+		}
+	}
 	plan := Plan{
 		Groups:       groups,
 		GroupServer:  append([]int(nil), assign...),
@@ -276,6 +349,9 @@ func MapGroups(groups [][]int, streams []Stream, servers []cluster.Server) Plan 
 		CommLatency:  total,
 	}
 	mapPool.Put(sc)
+	if infeasible > 0 {
+		return Plan{}, fmt.Errorf("%w: no server class fits every group under the speed-scaled gcd budget", ErrInfeasible)
+	}
 	assign = plan.GroupServer
 	for i := range plan.StreamServer {
 		plan.StreamServer[i] = -1
@@ -285,7 +361,7 @@ func MapGroups(groups [][]int, streams []Stream, servers []cluster.Server) Plan 
 			plan.StreamServer[si] = assign[g]
 		}
 	}
-	return plan
+	return plan, nil
 }
 
 // Schedule runs the complete Algorithm 1 on pre-split streams.
@@ -294,7 +370,7 @@ func Schedule(streams []Stream, servers []cluster.Server) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
-	return MapGroups(groups, streams, servers), nil
+	return MapGroups(groups, streams, servers)
 }
 
 // ScheduleMasked runs Algorithm 1 on the healthy subset of the servers —
@@ -328,7 +404,10 @@ func ScheduleMasked(streams []Stream, servers []cluster.Server, healthy []bool) 
 	if err != nil {
 		return Plan{}, err
 	}
-	plan := MapGroups(groups, streams, sub)
+	plan, err := MapGroups(groups, streams, sub)
+	if err != nil {
+		return Plan{}, err
+	}
 	// Remap the compact survivor indices back to physical ones.
 	for g := range plan.GroupServer {
 		plan.GroupServer[g] = idx[plan.GroupServer[g]]
@@ -361,6 +440,17 @@ func (p Plan) Utilizations(streams []Stream, n int) []float64 {
 // Streams with non-finite processing times or out-of-range assignments
 // fail the check.
 func CheckConst1(streams []Stream, streamServer []int, n int) bool {
+	return checkConst1(streams, streamServer, n, nil)
+}
+
+// CheckConst1Servers is CheckConst1 for heterogeneous clusters: on every
+// server, Σ pᵢ·sᵢ ≤ speed_j, still checked exactly (speeds are dyadic
+// float64 values).
+func CheckConst1Servers(streams []Stream, streamServer []int, servers []cluster.Server) bool {
+	return checkConst1(streams, streamServer, len(servers), servers)
+}
+
+func checkConst1(streams []Stream, streamServer []int, n int, servers []cluster.Server) bool {
 	load := make([]*big.Rat, n)
 	for i, s := range streams {
 		j := streamServer[i]
@@ -378,8 +468,17 @@ func CheckConst1(streams []Stream, streamServer []int, n int) bool {
 			load[j].Add(load[j], u)
 		}
 	}
-	for _, l := range load {
-		if l != nil && l.Cmp(ratOne) > 0 {
+	for j, l := range load {
+		if l == nil {
+			continue
+		}
+		budget := ratOne
+		if servers != nil {
+			if budget = ratFromFloat(servers[j].Speed()); budget == nil {
+				return false
+			}
+		}
+		if l.Cmp(budget) > 0 {
 			return false
 		}
 	}
@@ -394,6 +493,18 @@ func CheckConst1(streams []Stream, streamServer []int, n int) bool {
 // exceeds the gcd by up to 1e-12 passed while actually self-queueing —
 // silently voiding the paper's zero-jitter latency claim (Theorems 1–3).
 func CheckConst2(streams []Stream, streamServer []int, n int) bool {
+	return checkConst2(streams, streamServer, n, nil)
+}
+
+// CheckConst2Servers is CheckConst2 for heterogeneous clusters: on every
+// server, Σ pᵢ ≤ gcd(T) · speed_j — the budget a server class at speed s
+// can actually clear inside one gcd window. Exact: the speed factor is a
+// dyadic float64, so the scaled budget is an exact rational.
+func CheckConst2Servers(streams []Stream, streamServer []int, servers []cluster.Server) bool {
+	return checkConst2(streams, streamServer, len(servers), servers)
+}
+
+func checkConst2(streams []Stream, streamServer []int, n int, servers []cluster.Server) bool {
 	procSum := make([]*big.Rat, n)
 	gcds := make([]Rational, n)
 	for i, s := range streams {
@@ -416,7 +527,15 @@ func CheckConst2(streams []Stream, streamServer []int, n int) bool {
 		if gcds[j].Num == 0 {
 			continue // empty server
 		}
-		if procSum[j].Cmp(gcds[j].BigRat()) > 0 {
+		budget := gcds[j].BigRat()
+		if servers != nil {
+			spd := ratFromFloat(servers[j].Speed())
+			if spd == nil {
+				return false
+			}
+			budget.Mul(budget, spd)
+		}
+		if procSum[j].Cmp(budget) > 0 {
 			return false
 		}
 	}
@@ -448,7 +567,7 @@ func (p Plan) ToClusterStreams(streams []Stream, servers []cluster.Server) ([]cl
 		for k, si := range members {
 			sub[k] = specs[si]
 		}
-		sub = cluster.ZeroJitterOffsets(sub, srv.Uplink)
+		sub = cluster.ZeroJitterOffsetsOn(sub, srv)
 		for k, si := range members {
 			specs[si] = sub[k]
 		}

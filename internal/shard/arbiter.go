@@ -66,14 +66,37 @@ func (d *dyadic) reset() {
 // withinBudget reports d ≤ num/den exactly, by cross-multiplication:
 // d.num/2^shift ≤ num/den  ⇔  d.num·den ≤ num·2^shift.
 func (d *dyadic) withinBudget(budget sched.Rational, sc *fitScratch) bool {
+	return d.withinBudgetSpeed(budget, 1, sc)
+}
+
+// withinBudgetSpeed reports d ≤ (num/den)·speed exactly. The speed factor
+// is a float64 and hence dyadic (mant·2^e), so the scaled budget is still
+// an exact rational and the comparison stays a cross-multiplication:
+// d.num·den·2^max(0,−e) ≤ num·mant·2^(shift+max(0,e)).
+func (d *dyadic) withinBudgetSpeed(budget sched.Rational, speed float64, sc *fitScratch) bool {
 	if budget.Num == 0 {
 		// Empty-budget server: only an empty sum fits.
 		return d.num.Sign() <= 0
 	}
+	if math.IsNaN(speed) || math.IsInf(speed, 0) || speed <= 0 {
+		return false
+	}
 	sc.den.SetInt64(budget.Den)
 	sc.lhs.Mul(&d.num, &sc.den)
 	sc.rhs.SetInt64(budget.Num)
-	sc.rhs.Lsh(&sc.rhs, d.shift)
+	if speed == 1 {
+		sc.rhs.Lsh(&sc.rhs, d.shift)
+		return sc.lhs.Cmp(&sc.rhs) <= 0
+	}
+	fr, exp := math.Frexp(speed) // speed = mant·2^(exp−53) exactly
+	sc.tmp.SetInt64(int64(fr * (1 << 53)))
+	sc.rhs.Mul(&sc.rhs, &sc.tmp)
+	if e := exp - 53; e >= 0 {
+		sc.rhs.Lsh(&sc.rhs, d.shift+uint(e))
+	} else {
+		sc.rhs.Lsh(&sc.rhs, d.shift)
+		sc.lhs.Lsh(&sc.lhs, uint(-e))
+	}
 	return sc.lhs.Cmp(&sc.rhs) <= 0
 }
 
@@ -129,6 +152,7 @@ type Arbiter struct {
 	version uint64
 	states  []serverState
 	uplinks []float64
+	speeds  []float64
 	commits int
 	comm    float64 // Σ bits/uplink over committed claims
 
@@ -190,7 +214,7 @@ func (a *Arbiter) fits(j int, gcd sched.Rational, sum *dyadic, sc *fitScratch) b
 	union := sched.RatGCD(st.gcd, gcd)
 	sc.trial.set(&st.sum)
 	sc.trial.add(sum, &sc.tmp)
-	return sc.trial.withinBudget(union, sc)
+	return sc.trial.withinBudgetSpeed(union, a.speed(j), sc)
 }
 
 // Commit validates every claim of the proposal against the LIVE state and,
@@ -235,6 +259,24 @@ func (a *Arbiter) uplink(j int) float64 { return a.uplinks[j] }
 // committed communication-latency accounting. Must be called after Reset
 // and before the first Commit.
 func (a *Arbiter) SetUplinks(uplinks []float64) { a.uplinks = uplinks }
+
+// speed returns server j's effective processing-rate factor; a nil slice
+// (homogeneous cluster) means 1 everywhere.
+func (a *Arbiter) speed(j int) float64 {
+	if a.speeds == nil {
+		return 1
+	}
+	if s := a.speeds[j]; s > 0 && !math.IsInf(s, 1) {
+		return s
+	}
+	return 1
+}
+
+// SetSpeeds installs per-server speed factors so the exact admission check
+// scales every server's Const2 budget to gcd·speed (cluster.Server.Speed
+// semantics: non-positive entries mean 1). Must be called after Reset and
+// before the first Fits/Commit; nil restores the homogeneous default.
+func (a *Arbiter) SetSpeeds(speeds []float64) { a.speeds = speeds }
 
 // Plan assembles the committed state into a sched.Plan over nStreams
 // streams: one merged group per occupied server in ascending server order

@@ -104,6 +104,7 @@ type Planner struct {
 	cells []cellScratch
 
 	uplinks []float64
+	speeds  []float64
 	colBuf  []int
 }
 
@@ -185,11 +186,23 @@ func (p *Planner) PlanCtx(ctx context.Context, streams []sched.Stream, snap *sch
 	}
 	p.cells = p.cells[:len(parts)]
 	p.uplinks = p.uplinks[:0]
+	p.speeds = p.speeds[:0]
+	heteroSpeeds := false
 	for _, srv := range snap.Servers() {
 		p.uplinks = append(p.uplinks, srv.Uplink)
+		spd := srv.Speed()
+		p.speeds = append(p.speeds, spd)
+		if spd != 1 {
+			heteroSpeeds = true
+		}
 	}
 	p.arb.Reset(snap.NumServers(), snap.Version())
 	p.arb.SetUplinks(p.uplinks)
+	if heteroSpeeds {
+		p.arb.SetSpeeds(p.speeds)
+	} else {
+		p.arb.SetSpeeds(nil)
+	}
 	nPending := 0
 	for c := range p.cells {
 		cell := &p.cells[c]
@@ -441,11 +454,15 @@ func (p *Planner) assign(cell *cellScratch, cols []int, snap *sched.Snapshot) bo
 		}
 		cl := &cell.prop.Claims[r]
 		for ci, j := range cols {
-			// Empty servers are feasible without the exact check: a
-			// GroupStreams group satisfies Σ proc ≤ min period = its own
-			// gcd by construction, and commit re-validates exactly anyway,
-			// so a propose-side shortcut can cost at most a bounce.
-			occupied := p.arb.states[j].claims > 0
+			// Empty full-speed servers are feasible without the exact
+			// check: a GroupStreams group satisfies Σ proc ≤ min period =
+			// its own gcd by construction, and commit re-validates exactly
+			// anyway, so a propose-side shortcut can cost at most a bounce.
+			// Slow servers (speed < 1) shrink the budget below that
+			// construction guarantee, so they always take the exact check —
+			// a shortcut there could propose a claim that can NEVER commit,
+			// breaking the termination argument.
+			occupied := p.arb.states[j].claims > 0 || p.arb.speed(j) < 1
 			switch {
 			case occupied && !p.arb.fits(j, cl.GCD, &cl.Sum, &cell.sc):
 				row[ci] = math.Inf(1)
@@ -475,7 +492,7 @@ func (p *Planner) assign(cell *cellScratch, cols []int, snap *sched.Snapshot) bo
 // the merged per-server stream sets — the load-bearing guarantee that no
 // multi-cell commit ever violates feasibility on a shared server.
 func (p *Planner) audit(streams []sched.Stream, plan sched.Plan, snap *sched.Snapshot) error {
-	return p.opt.Check.VerifyPlan(streams, plan, snap.NumServers(), snap.Healthy())
+	return p.opt.Check.VerifyPlanServers(streams, plan, snap.Servers(), snap.Healthy())
 }
 
 func b2f(b bool) float64 {

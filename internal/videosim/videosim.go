@@ -89,6 +89,24 @@ func NewClip(name string, rng *rand.Rand) *Clip {
 	}
 }
 
+// FactorDistance is the Euclidean distance between two clips' content
+// factors — the content-similarity metric warm-started outcome models and
+// churn-time configuration donors rank candidate clips by.
+func (c *Clip) FactorDistance(o *Clip) float64 {
+	d := 0.0
+	for _, pair := range [...][2]float64{
+		{c.AccBase, o.AccBase},
+		{c.AccFactor, o.AccFactor},
+		{c.ComputeFac, o.ComputeFac},
+		{c.BitFac, o.BitFac},
+		{c.EnergyFac, o.EnergyFac},
+	} {
+		diff := pair[0] - pair[1]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
+
 // StandardClips returns n reproducible clips named like the MOT16 set.
 func StandardClips(n int, seed uint64) []*Clip {
 	rng := rand.New(rand.NewPCG(seed, 0xC11F))
