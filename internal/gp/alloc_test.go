@@ -25,6 +25,32 @@ func TestPredictMeanZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSparsePredictZeroAlloc pins the sparse hot paths: PredictMean is a
+// plain O(m) loop over the inducing representation and must never allocate;
+// PredictBatchWith must draw all scratch from a warm workspace.
+func TestSparsePredictZeroAlloc(t *testing.T) {
+	xs, ys := sparseTestData(41, 40)
+	sp := NewSparse(roughKernel(), 1e-3, SparseOptions{MaxInducing: 12})
+	if err := sp.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1.3}
+	if n := testing.AllocsPerRun(100, func() { sp.PredictMean(x) }); n != 0 {
+		t.Fatalf("sparse PredictMean allocates %v times per run, want 0", n)
+	}
+	qs := [][]float64{{0.2}, {0.9}, {1.7}, {2.4}}
+	ws := mat.NewWorkspace()
+	ws.Reset()
+	sp.PredictBatchWith(ws, qs) // warm the workspace
+	n := testing.AllocsPerRun(100, func() {
+		ws.Reset()
+		sp.PredictBatchWith(ws, qs)
+	})
+	if n != 0 {
+		t.Fatalf("warm sparse PredictBatchWith allocates %v times per run, want 0", n)
+	}
+}
+
 // TestPredictBatchWithWarmAllocs bounds the warm-path batch prediction to
 // the single per-call pointer slice for the cached cross-covariances: all
 // float64 scratch comes from the workspace.

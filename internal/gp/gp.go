@@ -54,6 +54,48 @@ func New(k kernel.Kernel, noiseVar float64) *GP {
 // ErrNotFitted is returned by methods that require a prior Fit call.
 var ErrNotFitted = errors.New("gp: model is not fitted")
 
+// Regressor is the contract shared by the exact GP and the inducing-point
+// SparseGP: conditioning, incremental updates, posterior queries, joint
+// sampling, and hyperparameter handling. Schedulers program against it so
+// the outcome-model family is a runtime knob rather than a compile-time
+// choice.
+type Regressor interface {
+	Fit(xs [][]float64, ys []float64) error
+	AddObservation(x []float64, y float64) error
+	SetTargets(ys []float64) error
+	N() int
+	X() [][]float64
+	Y() []float64
+	Predict(x []float64) (mu, variance float64)
+	PredictMean(x []float64) float64
+	PredictBatch(xs [][]float64) (mat.Vector, *mat.Matrix)
+	SampleJoint(xs [][]float64, nSamples int, rng *rand.Rand) [][]float64
+	LogMarginalLikelihood() float64
+	LeaveOneOut() (mu, variance []float64)
+	LOOLogLikelihood() float64
+	OptimizeHyperparams(nStarts int, rng *rand.Rand) error
+	SetFallbackCounter(c *atomic.Uint64)
+	Kernel() kernel.Kernel
+	Noise() float64
+	SetNoise(v float64)
+	Generation() uint64
+}
+
+var (
+	_ Regressor = (*GP)(nil)
+	_ Regressor = (*SparseGP)(nil)
+)
+
+// Kernel returns the covariance kernel.
+func (g *GP) Kernel() kernel.Kernel { return g.Kern }
+
+// Noise returns the observation noise variance.
+func (g *GP) Noise() float64 { return g.NoiseVar }
+
+// SetNoise replaces the observation noise variance. Takes effect at the
+// next Fit/refit, like kernel hyperparameter edits.
+func (g *GP) SetNoise(v float64) { g.NoiseVar = v }
+
 // N returns the number of training points.
 func (g *GP) N() int { return len(g.x) }
 
@@ -331,9 +373,14 @@ func (g *GP) LogMarginalLikelihood() float64 {
 
 // OptimizeHyperparams maximizes the log marginal likelihood over the
 // kernel's log-parameters and the log noise variance using multi-start
-// Nelder–Mead. The GP must already be fitted; on return it is refitted with
-// the best hyperparameters found.
+// Nelder–Mead. nStarts must be ≥ 1 — a non-positive count would silently
+// leave the hyperparameters untouched, so it is rejected explicitly. The GP
+// must already be fitted; on return it is refitted with the best
+// hyperparameters found.
 func (g *GP) OptimizeHyperparams(nStarts int, rng *rand.Rand) error {
+	if nStarts <= 0 {
+		return fmt.Errorf("gp: OptimizeHyperparams needs nStarts >= 1, got %d", nStarts)
+	}
 	if g.chol == nil {
 		return ErrNotFitted
 	}

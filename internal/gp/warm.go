@@ -10,28 +10,29 @@ import "math"
 // not an order of magnitude.
 //
 // The result seeds a warm-started GP for a task believed similar to the
-// donors' — install it with Kern.SetLogParams and NoiseVar before the
-// first Fit. ok=false when donors is empty, a donor is nil, the parameter
-// vectors disagree in length (incompatible kernels), or any pooled value
-// is non-finite; the caller should fall back to its cold defaults.
-func PoolHyperparams(donors []*GP) (logParams []float64, noiseVar float64, ok bool) {
+// donors' — install it with Kernel().SetLogParams and SetNoise before the
+// first Fit. Donors may mix exact and sparse models. ok=false when donors
+// is empty, a donor is nil, the parameter vectors disagree in length
+// (incompatible kernels), or any pooled value is non-finite; the caller
+// should fall back to its cold defaults.
+func PoolHyperparams(donors []Regressor) (logParams []float64, noiseVar float64, ok bool) {
 	if len(donors) == 0 || donors[0] == nil {
 		return nil, 0, false
 	}
-	logParams = append([]float64(nil), donors[0].Kern.LogParams()...)
-	logNoise := safeLog(donors[0].NoiseVar)
+	logParams = append([]float64(nil), donors[0].Kernel().LogParams()...)
+	logNoise := safeLog(donors[0].Noise())
 	for _, d := range donors[1:] {
 		if d == nil {
 			return nil, 0, false
 		}
-		p := d.Kern.LogParams()
+		p := d.Kernel().LogParams()
 		if len(p) != len(logParams) {
 			return nil, 0, false
 		}
 		for i, v := range p {
 			logParams[i] += v
 		}
-		logNoise += safeLog(d.NoiseVar)
+		logNoise += safeLog(d.Noise())
 	}
 	n := float64(len(donors))
 	for i := range logParams {

@@ -7,13 +7,25 @@ import (
 	"repro/internal/kernel"
 )
 
+// regs adapts a slice of exact GPs to the Regressor slice PoolHyperparams
+// takes, mapping nil pointers to nil interface values.
+func regs(gs ...*GP) []Regressor {
+	out := make([]Regressor, len(gs))
+	for i, g := range gs {
+		if g != nil {
+			out[i] = g
+		}
+	}
+	return out
+}
+
 func TestPoolHyperparamsMeans(t *testing.T) {
 	mk := func(variance, ls, noise float64) *GP {
 		k := kernel.NewMatern52(1)
 		k.SetLogParams([]float64{math.Log(variance), math.Log(ls)})
 		return New(k, noise)
 	}
-	donors := []*GP{mk(1, 0.1, 1e-4), mk(4, 0.4, 1e-2)}
+	donors := regs(mk(1, 0.1, 1e-4), mk(4, 0.4, 1e-2))
 	lp, noise, ok := PoolHyperparams(donors)
 	if !ok {
 		t.Fatal("pooling failed")
@@ -34,10 +46,10 @@ func TestPoolHyperparamsRejects(t *testing.T) {
 	if _, _, ok := PoolHyperparams(nil); ok {
 		t.Error("empty donor set pooled")
 	}
-	if _, _, ok := PoolHyperparams([]*GP{nil}); ok {
+	if _, _, ok := PoolHyperparams(regs(nil)); ok {
 		t.Error("nil donor pooled")
 	}
-	mixed := []*GP{New(kernel.NewRBF(1), 1e-3), New(kernel.NewRBF(2), 1e-3)}
+	mixed := regs(New(kernel.NewRBF(1), 1e-3), New(kernel.NewRBF(2), 1e-3))
 	if _, _, ok := PoolHyperparams(mixed); ok {
 		t.Error("mismatched kernel dimensions pooled")
 	}
@@ -45,7 +57,7 @@ func TestPoolHyperparamsRejects(t *testing.T) {
 
 func TestPoolHyperparamsNoiseFloor(t *testing.T) {
 	// A jitter-free donor must not drive the geometric mean to zero.
-	donors := []*GP{New(kernel.NewRBF(1), 0), New(kernel.NewRBF(1), 1e-3)}
+	donors := regs(New(kernel.NewRBF(1), 0), New(kernel.NewRBF(1), 1e-3))
 	_, noise, ok := PoolHyperparams(donors)
 	if !ok || noise <= 0 {
 		t.Fatalf("pooling with zero-noise donor: noise=%v ok=%v", noise, ok)
@@ -65,7 +77,7 @@ func TestWarmStartBeatsColdFewShot(t *testing.T) {
 		k.SetLogParams([]float64{math.Log(1.0), math.Log(ls)})
 		return New(k, 1e-4)
 	}
-	donors := []*GP{mkDonor(0.12), mkDonor(0.18), mkDonor(0.15)}
+	donors := regs(mkDonor(0.12), mkDonor(0.18), mkDonor(0.15))
 	lp, noise, ok := PoolHyperparams(donors)
 	if !ok {
 		t.Fatal("pooling failed")

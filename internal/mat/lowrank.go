@@ -1,0 +1,56 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Low-rank workspace kernels for the sparse-GP hot path: the inducing-point
+// posterior P = K_uu + σ⁻²·K_uf·K_fu changes by a symmetric rank-1 term per
+// observation, so conditioning stays O(m²) instead of the O(m³) of a fresh
+// factorization. Both kernels are in-place and allocation-free.
+
+// SymRank1Update accumulates a += s·v·vᵀ in place. a must be square with
+// dimension len(v); symmetry is preserved exactly (the same product lands on
+// both triangles).
+func SymRank1Update(a *Matrix, v Vector, s float64) {
+	n := a.Rows
+	if a.Cols != n || len(v) != n {
+		panic(fmt.Sprintf("mat: SymRank1Update dims %dx%d vs %d", a.Rows, a.Cols, len(v)))
+	}
+	for i := 0; i < n; i++ {
+		svi := s * v[i]
+		a.Data[i*n+i] += svi * v[i]
+		for j := i + 1; j < n; j++ {
+			d := svi * v[j]
+			a.Data[i*n+j] += d
+			a.Data[j*n+i] += d
+		}
+	}
+}
+
+// Rank1Update rewrites the factor so that L·Lᵀ becomes L·Lᵀ + v·vᵀ, using
+// the classical Givens-based update (Golub & Van Loan §6.5.4) in O(n²).
+// Updates (unlike downdates) are unconditionally stable: every new pivot is
+// hypot(old pivot, v[k]) > 0. v is consumed as scratch and left clobbered;
+// callers that need it afterwards must pass a copy. The Jitter bookkeeping
+// is unchanged — the factor keeps representing (A + Jitter·I) + v·vᵀ.
+func (c *Cholesky) Rank1Update(v Vector) {
+	l := c.L
+	n := l.Rows
+	if len(v) != n {
+		panic(fmt.Sprintf("mat: Rank1Update dims %d vs %d", n, len(v)))
+	}
+	for k := 0; k < n; k++ {
+		lkk := l.At(k, k)
+		r := math.Hypot(lkk, v[k])
+		cc := r / lkk
+		ss := v[k] / lkk
+		l.Set(k, k, r)
+		for i := k + 1; i < n; i++ {
+			lik := (l.At(i, k) + ss*v[i]) / cc
+			l.Set(i, k, lik)
+			v[i] = cc*v[i] - ss*lik
+		}
+	}
+}

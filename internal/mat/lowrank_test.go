@@ -1,0 +1,138 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func lrRandSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := b.Mul(b.T())
+	a.AddScaledEye(float64(n))
+	return a
+}
+
+func TestSymRank1Update(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 1))
+	for _, n := range []int{1, 3, 8} {
+		a := lrRandSPD(rng, n)
+		want := a.Clone()
+		v := NewVector(n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		s := 2.5
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				d := (s * v[i]) * v[j]
+				want.Set(i, j, want.At(i, j)+d)
+				if i != j {
+					want.Set(j, i, want.At(j, i)+d)
+				}
+			}
+		}
+		SymRank1Update(a, v, s)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if a.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d (%d,%d): got %g want %g", n, i, j, a.At(i, j), want.At(i, j))
+				}
+				if a.At(i, j) != a.At(j, i) {
+					t.Fatalf("n=%d: symmetry broken at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSymRank1UpdateDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	SymRank1Update(NewMatrix(3, 3), NewVector(2), 1)
+}
+
+// TestRank1UpdateMatchesRefactor checks L·Lᵀ + v·vᵀ against a fresh
+// factorization of the updated matrix across sizes and repeated updates.
+func TestRank1UpdateMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 2))
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		a := lrRandSPD(rng, n)
+		c, err := Chol(a)
+		if err != nil {
+			t.Fatalf("n=%d: chol: %v", n, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			v := NewVector(n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			SymRank1Update(a, v, 1)
+			c.Rank1Update(v.Clone()) // v is scratch-consumed
+			want, err := Chol(a)
+			if err != nil {
+				t.Fatalf("n=%d rep=%d: refactor: %v", n, rep, err)
+			}
+			scale := meanDiag(a)
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					got, w := c.L.At(i, j), want.L.At(i, j)
+					if math.Abs(got-w) > 1e-9*scale {
+						t.Fatalf("n=%d rep=%d L(%d,%d): got %g want %g", n, rep, i, j, got, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRank1UpdatePreservesJitter(t *testing.T) {
+	// A factor carrying jitter must keep representing (A + Jitter·I) + v·vᵀ.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	c, err := CholJitter(a)
+	if err != nil {
+		t.Fatalf("CholJitter: %v", err)
+	}
+	if c.Jitter == 0 {
+		t.Fatal("test needs a jittered factor")
+	}
+	v := Vector{0.5, -0.25}
+	c.Rank1Update(v.Clone())
+	upd := a.Clone()
+	upd.AddScaledEye(c.Jitter)
+	SymRank1Update(upd, v, 1)
+	want, err := Chol(upd)
+	if err != nil {
+		t.Fatalf("refactor: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(c.L.At(i, j)-want.L.At(i, j)) > 1e-12 {
+				t.Fatalf("L(%d,%d): got %g want %g", i, j, c.L.At(i, j), want.L.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRank1UpdateDimPanics(t *testing.T) {
+	c, err := Chol(lrRandSPD(rand.New(rand.NewPCG(7, 3)), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	c.Rank1Update(NewVector(2))
+}

@@ -51,15 +51,39 @@ func encodeCfg(c videosim.Config) []float64 {
 	}
 }
 
+// modelSpec selects the outcome-model family and telemetry sinks for new
+// metric GPs. The zero value is the exact GP with no telemetry — the
+// configuration every golden run pins.
+type modelSpec struct {
+	sparse    bool
+	sparseOpt gp.SparseOptions
+	// gpObs/gpInducing/gpForget receive GP lifecycle counts
+	// (gp_obs_total / gp_inducing_total / gp_forget_total). Nil-safe.
+	gpObs      *obs.Counter
+	gpInducing *obs.Counter
+	gpForget   *obs.Counter
+}
+
 // metricGP is a GP over the encoded configuration space with target
 // standardization, so kernel variance ≈ 1 regardless of the metric's
-// physical scale.
+// physical scale. The underlying regressor is either the exact GP (the
+// default; golden-pinned) or the inducing-point SparseGP, chosen by
+// modelSpec at construction.
 type metricGP struct {
-	g     *gp.GP
-	cache *gp.CrossCache // memoized k(x, X) for pool scoring across iterations
-	scale float64
-	xs    [][]float64
-	ys    []float64
+	g     gp.Regressor
+	exact *gp.GP         // non-nil iff g is the exact model
+	sp    *gp.SparseGP   // non-nil iff g is the sparse model
+	cache *gp.CrossCache // exact only: memoized k(x, X) for pool scoring
+	spec  modelSpec
+	// fed counts how many of allData's points have been conditioned into g.
+	// The exact model's N() equals fed, but the sparse model's N() shrinks
+	// under the MaxObs forgetting budget, so the refit prefix bookkeeping
+	// must not read it back from the regressor.
+	fed       int
+	lastStats gp.SparseStats // last synced lifecycle counters (sparse only)
+	scale     float64
+	xs        [][]float64
+	ys        []float64
 	// vxs/vys are virtual observations borrowed from a warm-start donor
 	// (see warmFrom). They condition the GP ahead of the model's own
 	// measurements but are down-weighted: while any virtual point remains,
@@ -82,19 +106,27 @@ type metricGP struct {
 	chk *check.Checker
 }
 
-// newMetricGP builds one outcome GP. mvn, when non-nil, receives this
-// model's posterior-sampling fallbacks so the owning scheduler can
-// attribute them to itself (see gp.SetFallbackCounter).
-func newMetricGP(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) *metricGP {
+// newMetricGP builds one outcome GP of the family spec selects. mvn, when
+// non-nil, receives this model's posterior-sampling fallbacks so the owning
+// scheduler can attribute them to itself (see gp.SetFallbackCounter).
+func newMetricGP(spec modelSpec, mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) *metricGP {
 	k := kernel.NewMatern52(3)
 	p := k.LogParams()
 	p[1], p[2], p[3] = math.Log(0.4), math.Log(0.4), math.Log(0.5)
 	k.SetLogParams(p)
-	g := gp.New(k, 1e-3)
-	if mvn != nil {
-		g.SetFallbackCounter(mvn)
+	m := &metricGP{spec: spec, scale: 1, baseNoise: 1e-3, cholInc: cholInc, cholFull: cholFull, chk: chk}
+	if spec.sparse {
+		m.sp = gp.NewSparse(k, 1e-3, spec.sparseOpt)
+		m.g = m.sp
+	} else {
+		m.exact = gp.New(k, 1e-3)
+		m.cache = m.exact.NewCrossCache()
+		m.g = m.exact
 	}
-	return &metricGP{g: g, cache: g.NewCrossCache(), scale: 1, baseNoise: 1e-3, cholInc: cholInc, cholFull: cholFull, chk: chk}
+	if mvn != nil {
+		m.g.SetFallbackCounter(mvn)
+	}
+	return m
 }
 
 // add appends one observation.
@@ -116,7 +148,7 @@ func (m *metricGP) warmFrom(donors []*metricGP, keep int, inflate float64) bool 
 	if len(m.xs) > 0 || m.g.N() > 0 {
 		return false
 	}
-	gs := make([]*gp.GP, 0, len(donors))
+	gs := make([]gp.Regressor, 0, len(donors))
 	for _, d := range donors {
 		if d != nil {
 			gs = append(gs, d.g)
@@ -126,13 +158,13 @@ func (m *metricGP) warmFrom(donors []*metricGP, keep int, inflate float64) bool 
 	if !ok {
 		return false
 	}
-	m.g.Kern.SetLogParams(lp)
+	m.g.Kernel().SetLogParams(lp)
 	m.baseNoise = noise
 	if inflate < 1 {
 		inflate = 1
 	}
 	m.inflate = inflate
-	m.g.NoiseVar = noise * inflate
+	m.g.SetNoise(noise * inflate)
 	// Evenly spaced subsample of the most similar donor's raw dataset, so
 	// the virtual points span its covered input region deterministically.
 	if d := donors[0]; keep > 0 && d != nil && len(d.xs) > 0 {
@@ -157,7 +189,7 @@ func (m *metricGP) maybeRetire() {
 		return
 	}
 	m.vxs, m.vys = nil, nil
-	m.g.NoiseVar = m.baseNoise
+	m.g.SetNoise(m.baseNoise)
 	m.inflate = 0
 	m.forceFull = true
 }
@@ -179,16 +211,23 @@ func (m *metricGP) allData() ([][]float64, []float64) {
 // refit standardizes the targets and re-conditions the GP. A GP that is
 // already conditioned on a prefix of the data — the shape of every
 // per-observation refit, since metricGP only ever appends measurements — is
-// extended through the incremental Cholesky fast path (O(n²) per new point)
-// and then handed the rescaled target vector, which only re-solves alpha.
-// Only the first fit and hyperparameter changes pay the full O(n³)
+// extended through the incremental fast path (O(n²) per new point for the
+// exact model, O(nm + m²) for the sparse one) and then handed the rescaled
+// targets. Only the first fit and hyperparameter changes pay the full
 // refactorization.
 func (m *metricGP) refit() error {
+	err := m.refitData()
+	m.syncStats()
+	return err
+}
+
+func (m *metricGP) refitData() error {
 	m.maybeRetire()
 	xs, ys := m.allData()
 	if len(xs) == 0 {
 		return fmt.Errorf("pamo: refit with no data")
 	}
+	prevScale := m.scale
 	sd := std(ys)
 	if sd < 1e-12 {
 		sd = math.Abs(mean(ys))
@@ -201,15 +240,20 @@ func (m *metricGP) refit() error {
 	for i, y := range ys {
 		scaled[i] = y / sd
 	}
+	if m.sp != nil {
+		return m.refitSparse(xs, scaled, prevScale/sd)
+	}
 	if n := m.g.N(); !m.forceFull && n > 0 && n <= len(xs) {
 		first := n
 		for i := n; i < len(xs); i++ {
 			if err := m.g.AddObservation(xs[i], scaled[i]); err != nil {
 				m.cholFull.Inc()
+				m.fed = len(xs)
 				return m.g.Fit(xs, scaled)
 			}
 			m.cholInc.Inc()
 		}
+		m.fed = len(xs)
 		if err := m.g.SetTargets(scaled); err != nil {
 			return err
 		}
@@ -217,7 +261,54 @@ func (m *metricGP) refit() error {
 	}
 	m.cholFull.Inc()
 	m.forceFull = false
+	m.fed = len(xs)
 	return m.g.Fit(xs, scaled)
+}
+
+// refitSparse conditions the sparse model on the suffix of points it has not
+// seen. The standardization scale moves with every new measurement, and the
+// sparse model may have forgotten observations — so instead of the exact
+// path's full-vector SetTargets, the retained targets are rescaled in place
+// (ScaleTargets, O(m²)) and only the new points are fed. The fed counter,
+// not the model's shrinking N(), tracks the consumed prefix.
+func (m *metricGP) refitSparse(xs [][]float64, scaled []float64, rescale float64) error {
+	if n := m.fed; !m.forceFull && n > 0 && n <= len(xs) && m.sp.N() > 0 {
+		first := n
+		if err := m.sp.ScaleTargets(rescale); err != nil {
+			return err
+		}
+		for i := n; i < len(xs); i++ {
+			if err := m.sp.AddObservation(xs[i], scaled[i]); err != nil {
+				return err
+			}
+			m.cholInc.Inc()
+		}
+		m.fed = len(xs)
+		return m.verifyPosterior(xs, first)
+	}
+	m.cholFull.Inc()
+	m.forceFull = false
+	m.fed = len(xs)
+	return m.sp.Fit(xs, scaled)
+}
+
+// syncStats forwards the regressor's lifecycle deltas into the owning
+// scheduler's counters: conditioned-observation counts for both model
+// families, inducing/forget events for the sparse one. Nil counter handles
+// (no recorder) make this free.
+func (m *metricGP) syncStats() {
+	if m.sp == nil {
+		if f := uint64(m.fed); f > m.lastStats.Obs {
+			m.spec.gpObs.Add(f - m.lastStats.Obs)
+			m.lastStats.Obs = f
+		}
+		return
+	}
+	st := m.sp.Stats()
+	m.spec.gpObs.Add(st.Obs - m.lastStats.Obs)
+	m.spec.gpInducing.Add(st.InducingAdds - m.lastStats.InducingAdds)
+	m.spec.gpForget.Add(st.Forgets - m.lastStats.Forgets)
+	m.lastStats = st
 }
 
 // verifyPosterior guards the incremental-Cholesky fast path: after
@@ -244,10 +335,24 @@ func (m *metricGP) optimize(nStarts int, rng *rand.Rand) error {
 
 // mean returns the posterior mean at config c in physical units. It uses
 // the variance-free prediction path: candidate planning calls this for
-// every clip of every pool candidate, and the O(n²) variance solve of a
-// full Predict is pure waste there.
+// every clip of every pool candidate, and the variance solve of a full
+// Predict is pure waste there. Exact models route through the memoized
+// cross-covariance cache (O(n) amortized); sparse models read the O(m)
+// inducing representation directly.
 func (m *metricGP) mean(c videosim.Config) float64 {
+	if m.sp != nil {
+		return m.sp.PredictMean(encodeCfg(c)) * m.scale
+	}
 	return m.cache.PredictMean(encodeCfg(c)) * m.scale
+}
+
+// meanVar returns the posterior mean and variance at config c in physical
+// units. The draw-reuse probe calls this for every universe point: unlike
+// mean it pays for the variance solve, because detecting posterior movement
+// needs the second moment too.
+func (m *metricGP) meanVar(c videosim.Config) (float64, float64) {
+	mu, v := m.g.Predict(encodeCfg(c))
+	return mu * m.scale, v * m.scale * m.scale
 }
 
 // sampleJoint draws joint posterior samples (physical units) at the given
@@ -258,7 +363,12 @@ func (m *metricGP) sampleJoint(cfgs []videosim.Config, n int, rng *rand.Rand) []
 		pts[i] = encodeCfg(c)
 	}
 	ws := mat.GetWorkspace()
-	out := m.g.SampleJointWith(ws, m.cache, pts, n, rng)
+	var out [][]float64
+	if m.sp != nil {
+		out = m.sp.SampleJointWith(ws, pts, n, rng)
+	} else {
+		out = m.exact.SampleJointWith(ws, m.cache, pts, n, rng)
+	}
 	mat.PutWorkspace(ws)
 	for _, row := range out {
 		for i := range row {
@@ -291,10 +401,10 @@ type clipModels struct {
 	m [numMetrics]*metricGP
 }
 
-func newClipModels(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) *clipModels {
+func newClipModels(spec modelSpec, mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) *clipModels {
 	var c clipModels
 	for i := range c.m {
-		c.m[i] = newMetricGP(mvn, cholInc, cholFull, chk)
+		c.m[i] = newMetricGP(spec, mvn, cholInc, cholFull, chk)
 	}
 	return &c
 }
@@ -332,13 +442,29 @@ func (c *clipModels) warmFrom(donors []*clipModels, keep int, inflate float64) b
 }
 
 // rebind re-points a bank-persisted model set at the owning scheduler's
-// telemetry: fallback counter, Cholesky-path counters, and checker. Without
-// it a reused model would keep attributing its work to the scheduler that
-// created it.
-func (c *clipModels) rebind(mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) {
+// telemetry: fallback counter, Cholesky-path counters, GP lifecycle
+// counters, and checker. Without it a reused model would keep attributing
+// its work to the scheduler that created it. The model family is part of
+// the persisted state and is deliberately left alone — a banked exact model
+// stays exact even under a sparse-configured scheduler.
+func (c *clipModels) rebind(spec modelSpec, mvn *atomic.Uint64, cholInc, cholFull *obs.Counter, chk *check.Checker) {
 	for _, m := range c.m {
 		m.cholInc, m.cholFull, m.chk = cholInc, cholFull, chk
+		m.spec.gpObs, m.spec.gpInducing, m.spec.gpForget = spec.gpObs, spec.gpInducing, spec.gpForget
 		m.g.SetFallbackCounter(mvn)
+	}
+}
+
+// setIncumbent points every sparse metric model's forgetting rule at the
+// clip's current incumbent configuration, so the MaxObs budget drops the
+// observation least informative about the region the schedule actually
+// uses. No-op for exact models.
+func (c *clipModels) setIncumbent(cfg videosim.Config) {
+	x := encodeCfg(cfg)
+	for _, m := range c.m {
+		if m.sp != nil {
+			m.sp.SetIncumbent(x)
+		}
 	}
 }
 

@@ -8,8 +8,10 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/acq"
 	"repro/internal/check"
 	"repro/internal/eva"
+	"repro/internal/gp"
 	"repro/internal/objective"
 	"repro/internal/obs"
 	"repro/internal/pref"
@@ -124,6 +126,33 @@ type Options struct {
 	// any remain, the warm model runs at this multiple of the pooled noise
 	// variance (default 25; values below 1 are clamped to 1).
 	WarmNoiseInflate float64
+	// Sparse selects inducing-point sparse outcome models (SoR with FITC
+	// variance correction, see gp.SparseGP) instead of exact GPs: O(m)
+	// posterior means and O(nm + m²) incremental refits with m ≪ n, at a
+	// bounded approximation cost. Off by default — exact models are the
+	// golden-pinned configuration.
+	Sparse bool
+	// SparseInducing caps the inducing set size m (default 64).
+	SparseInducing int
+	// SparseMaxObs budget-caps each sparse model's observation set: beyond
+	// it, every new observation forgets the retained one whose leave-one-out
+	// impact on the incumbent's posterior is smallest. 0 keeps everything.
+	SparseMaxObs int
+	// ReuseDraws amortizes the shared-sample acquisition across scheduler
+	// runs: when an iteration's candidate∪observation universe matches a
+	// cached epoch and the posterior moved less than DrawReuseTol at every
+	// pooled point, the previous epoch's joint draws are reused instead of
+	// re-sampled (see acq.DrawCache). Requires Draws; off by default.
+	ReuseDraws bool
+	// DrawReuseTol is the maximum absolute posterior movement — believed
+	// benefit mean and preference variance per universe point — under which
+	// cached draws still stand in for fresh ones (default 1e-3).
+	DrawReuseTol float64
+	// Draws, when non-nil, persists the shared-draw cache across scheduler
+	// instances, like Models does for outcome models: the runtime hands the
+	// same cache to every epoch's scheduler so unchanged epochs skip the
+	// Monte-Carlo sampling entirely.
+	Draws *acq.DrawCache
 }
 
 // Validate rejects option values the scheduler cannot run with. Every
@@ -149,6 +178,8 @@ func (o Options) Validate() error {
 		{"Workers", o.Workers},
 		{"WarmProfiles", o.WarmProfiles},
 		{"WarmKeep", o.WarmKeep},
+		{"SparseInducing", o.SparseInducing},
+		{"SparseMaxObs", o.SparseMaxObs},
 	} {
 		if f.v < 0 {
 			bad = append(bad, fmt.Sprintf("option %s is negative (%d)", f.name, f.v))
@@ -159,6 +190,9 @@ func (o Options) Validate() error {
 	}
 	if o.WarmNoiseInflate < 0 {
 		bad = append(bad, fmt.Sprintf("WarmNoiseInflate is negative (%v)", o.WarmNoiseInflate))
+	}
+	if o.DrawReuseTol < 0 {
+		bad = append(bad, fmt.Sprintf("DrawReuseTol is negative (%v)", o.DrawReuseTol))
 	}
 	switch o.Acq {
 	case "", QNEI, QEI, QUCB, QSR:
@@ -212,6 +246,10 @@ func (o Options) withDefaults() Options {
 	def(&o.WarmKeep, 12)
 	if o.WarmNoiseInflate == 0 {
 		o.WarmNoiseInflate = 25
+	}
+	def(&o.SparseInducing, 64)
+	if o.DrawReuseTol == 0 {
+		o.DrawReuseTol = 1e-3
 	}
 	return o
 }
@@ -283,6 +321,11 @@ func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
 	if prof == nil {
 		prof = videosim.NewProfiler(opt.ProfilerNoise, stats.NewRNG(opt.Seed+0x70F1))
 	}
+	if opt.ReuseDraws && opt.Draws == nil {
+		// A private cache still amortizes repeated re-solves through the same
+		// scheduler; sharing across schedulers requires passing one in.
+		opt.Draws = acq.NewDrawCache(0)
+	}
 	s := &Scheduler{
 		sys:  sys,
 		dm:   dm,
@@ -305,6 +348,21 @@ func New(sys *objective.System, dm pref.DecisionMaker, opt Options) *Scheduler {
 	return s
 }
 
+// modelSpec resolves the Options knobs into the outcome-model family and
+// lifecycle-counter sinks new metric GPs are built with.
+func (s *Scheduler) modelSpec() modelSpec {
+	return modelSpec{
+		sparse: s.opt.Sparse,
+		sparseOpt: gp.SparseOptions{
+			MaxInducing: s.opt.SparseInducing,
+			MaxObs:      s.opt.SparseMaxObs,
+		},
+		gpObs:      s.met.gpObs,
+		gpInducing: s.met.gpInducing,
+		gpForget:   s.met.gpForget,
+	}
+}
+
 // clipSeed records how a clip's outcome models were initialized.
 type clipSeed int
 
@@ -323,17 +381,18 @@ const (
 // models are banked immediately — they are conditioned in place, so
 // whatever this run learns is what the next scheduler inherits.
 func (s *Scheduler) seedClip(clip *videosim.Clip) (*clipModels, clipSeed) {
+	spec := s.modelSpec()
 	b := s.opt.Models
 	if b == nil {
 		s.met.coldStarts.Inc()
-		return newClipModels(&s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check), seedCold
+		return newClipModels(spec, &s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check), seedCold
 	}
 	if cm, ok := b.get(clip.Name); ok && len(cm.m[mAcc].xs) > 0 {
-		cm.rebind(&s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check)
+		cm.rebind(spec, &s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check)
 		s.met.bankHits.Inc()
 		return cm, seedBank
 	}
-	cm := newClipModels(&s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check)
+	cm := newClipModels(spec, &s.mvn, s.met.cholInc, s.met.cholFull, s.opt.Check)
 	b.put(clip, cm)
 	if donors := b.donors(clip, 3); len(donors) > 0 &&
 		cm.warmFrom(donors, s.opt.WarmKeep, s.opt.WarmNoiseInflate) {
@@ -433,6 +492,7 @@ func (s *Scheduler) solutionLoop(ctx context.Context) (*Result, error) {
 	if err := s.initialObservations(); err != nil {
 		return nil, fmt.Errorf("pamo: initial observations: %w", err)
 	}
+	s.setIncumbents()
 
 	res := &Result{}
 	zPrev := math.Inf(-1)
@@ -462,6 +522,7 @@ func (s *Scheduler) solutionLoop(ctx context.Context) (*Result, error) {
 			}
 		}
 		s.refreshBenefits()
+		s.setIncumbents()
 		z := s.bestObservation().Benefit
 		if err := guard.Observe(z); err != nil {
 			iterSp.End()
@@ -502,6 +563,23 @@ func (s *Scheduler) solutionLoop(ctx context.Context) (*Result, error) {
 	sp.Field("iters", float64(res.Iters))
 	sp.Field("observations", float64(len(s.obs)))
 	return res, nil
+}
+
+// setIncumbents points every sparse outcome model's benefit-aware
+// forgetting rule at the current best observation's per-clip configs, so
+// the MaxObs budget keeps the observations most informative about the
+// region the schedule actually exploits. No-op for exact models.
+func (s *Scheduler) setIncumbents() {
+	if !s.opt.Sparse {
+		return
+	}
+	best := s.bestObservation()
+	if len(best.Decision.Configs) != len(s.clips) {
+		return
+	}
+	for ci := range s.clips {
+		s.clips[ci].setIncumbent(best.Decision.Configs[ci])
+	}
 }
 
 // finalTournament returns the winner of direct decision-maker comparisons
@@ -583,13 +661,22 @@ func (s *Scheduler) profileInit() error {
 	s.rec.Do(s.ctx, "outcome_model", func(ctx context.Context) {
 		_, fit := s.rec.StartSpanCtx(ctx, "outcome_model")
 		defer fit.End()
+		// hyperOptRestarts is the multi-start Nelder–Mead budget per tuned
+		// model. gp.OptimizeHyperparams rejects non-positive counts, so the
+		// span records the restart count that actually ran (0 = tuning off).
+		const hyperOptRestarts = 2
+		restarts := 0
+		if s.opt.OptimizeHyper {
+			restarts = hyperOptRestarts
+		}
+		fit.Field("hyper_restarts", float64(restarts))
 		for ci := range s.clips {
 			if err = s.clips[ci].refit(); err != nil {
 				return
 			}
 			if s.opt.OptimizeHyper && s.seeds[ci] != seedBank {
 				for _, mg := range s.clips[ci].m {
-					if err = mg.optimize(2, s.rng); err != nil {
+					if err = mg.optimize(hyperOptRestarts, s.rng); err != nil {
 						return
 					}
 				}

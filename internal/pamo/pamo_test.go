@@ -49,7 +49,7 @@ func TestEncodeCfgRange(t *testing.T) {
 }
 
 func TestMetricGPLearnsCurve(t *testing.T) {
-	mg := newMetricGP(nil, nil, nil, nil)
+	mg := newMetricGP(modelSpec{}, nil, nil, nil, nil)
 	for _, r := range videosim.Resolutions {
 		for _, s := range videosim.FrameRates {
 			cfg := videosim.Config{Resolution: r, FPS: s}
@@ -67,7 +67,7 @@ func TestMetricGPLearnsCurve(t *testing.T) {
 }
 
 func TestMetricGPRefitEmptyFails(t *testing.T) {
-	if err := newMetricGP(nil, nil, nil, nil).refit(); err == nil {
+	if err := newMetricGP(modelSpec{}, nil, nil, nil, nil).refit(); err == nil {
 		t.Fatal("expected error")
 	}
 }

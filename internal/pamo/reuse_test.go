@@ -1,0 +1,92 @@
+package pamo
+
+import (
+	"testing"
+
+	"repro/internal/acq"
+	"repro/internal/objective"
+	"repro/internal/pref"
+)
+
+// runOnce builds a fresh scheduler over an identical system and solves it.
+func runOnce(t *testing.T, opt Options) *Result {
+	t.Helper()
+	sys := testSys(4, 3, 77)
+	res, err := New(sys, &pref.Oracle{Pref: objective.UniformPreference()}, opt).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameResult(a, b *Result) bool {
+	if a.Iters != b.Iters || len(a.History) != len(b.History) || a.Best.Benefit != b.Best.Benefit {
+		return false
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			return false
+		}
+	}
+	if a.Best.Raw != b.Best.Raw {
+		return false
+	}
+	return true
+}
+
+// TestDrawReuseByteIdenticalEpochs is the differential test for the
+// amortized acquisition path. Shared draws are deterministic in
+// (Seed, round) via acqStream, and a repeated epoch — a fresh scheduler over
+// the identical system and options, the fleet re-solve pattern — replays the
+// identical model trajectory. So the draws the second epoch would take are
+// byte-identical to the ones the first epoch cached, and serving them from
+// the cache must not move a single bit of the result:
+//
+//	epoch2(with reuse, warm cache) ≡ epoch(s) without reuse.
+//
+// At the same time the cache must actually serve — otherwise this test
+// would pass vacuously with the reuse path dead.
+func TestDrawReuseByteIdenticalEpochs(t *testing.T) {
+	base := smallOpts(5)
+	ref := runOnce(t, base)
+
+	cache := acq.NewDrawCache(0)
+	withReuse := base
+	withReuse.ReuseDraws = true
+	withReuse.DrawReuseTol = 0 // exact probe match only — the strictest gate
+	withReuse.Draws = cache
+
+	epoch1 := runOnce(t, withReuse)
+	if !sameResult(ref, epoch1) {
+		t.Fatalf("cold-cache epoch diverged from reuse-off run:\n  ref %+v\n  got %+v", ref, epoch1)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("first epoch cached no draws")
+	}
+
+	epoch2 := runOnce(t, withReuse)
+	if !sameResult(ref, epoch2) {
+		t.Fatalf("warm-cache epoch diverged from reuse-off run:\n  ref %+v\n  got %+v", ref, epoch2)
+	}
+	if cache.Hits() == 0 {
+		t.Fatal("second epoch reused no draws — the amortized path never fired")
+	}
+}
+
+// TestDrawReuseKeyDiscrimination: a different seed replays different
+// candidate universes, so a shared cache must never serve across them.
+func TestDrawReuseKeyDiscrimination(t *testing.T) {
+	cache := acq.NewDrawCache(0)
+	a := smallOpts(5)
+	a.ReuseDraws = true
+	a.Draws = cache
+	runOnce(t, a)
+
+	b := smallOpts(6)
+	b.ReuseDraws = true
+	b.Draws = cache
+	runOnce(t, b)
+	if cache.Hits() != 0 {
+		t.Fatalf("cache served %d hits across unrelated runs", cache.Hits())
+	}
+}

@@ -151,8 +151,8 @@ func TestRefitIncrementalMatchesFullFit(t *testing.T) {
 	// The incremental per-observation refit path must condition the GP on
 	// exactly the same posterior as a from-scratch fit of the same data.
 	rng := rand.New(rand.NewPCG(5, 6))
-	inc := newMetricGP(nil, nil, nil, nil)
-	full := newMetricGP(nil, nil, nil, nil)
+	inc := newMetricGP(modelSpec{}, nil, nil, nil, nil)
+	full := newMetricGP(modelSpec{}, nil, nil, nil, nil)
 	addBoth := func(cfg videosim.Config, y float64) {
 		inc.add(encodeCfg(cfg), y)
 		full.add(encodeCfg(cfg), y)

@@ -20,6 +20,10 @@ type schedMetrics struct {
 	bankHits     *obs.Counter   // pamo_bank_hits_total
 	warmStarts   *obs.Counter   // pamo_warm_starts_total
 	coldStarts   *obs.Counter   // pamo_cold_starts_total
+	gpObs        *obs.Counter   // gp_obs_total
+	gpInducing   *obs.Counter   // gp_inducing_total
+	gpForget     *obs.Counter   // gp_forget_total
+	drawsReused  *obs.Counter   // acq_draws_reused_total
 	bestBenefit  *obs.Gauge     // pamo_best_benefit
 	mvnFallbacks *obs.Gauge     // pamo_mvn_fallbacks
 	acqScore     *obs.Histogram // pamo_acq_score
@@ -38,6 +42,10 @@ func newSchedMetrics(reg *obs.Registry) schedMetrics {
 		bankHits:     reg.Counter("pamo_bank_hits_total"),
 		warmStarts:   reg.Counter("pamo_warm_starts_total"),
 		coldStarts:   reg.Counter("pamo_cold_starts_total"),
+		gpObs:        reg.Counter("gp_obs_total"),
+		gpInducing:   reg.Counter("gp_inducing_total"),
+		gpForget:     reg.Counter("gp_forget_total"),
+		drawsReused:  reg.Counter("acq_draws_reused_total"),
 		bestBenefit:  reg.Gauge("pamo_best_benefit"),
 		mvnFallbacks: reg.Gauge("pamo_mvn_fallbacks"),
 		acqScore:     reg.Histogram("pamo_acq_score", obs.DefBuckets),

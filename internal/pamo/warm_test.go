@@ -10,7 +10,7 @@ import (
 )
 
 func TestMetricGPWarmLifecycle(t *testing.T) {
-	donor := newMetricGP(nil, nil, nil, nil)
+	donor := newMetricGP(modelSpec{}, nil, nil, nil, nil)
 	for _, r := range videosim.Resolutions {
 		for _, s := range videosim.FrameRates {
 			cfg := videosim.Config{Resolution: r, FPS: s}
@@ -21,14 +21,14 @@ func TestMetricGPWarmLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	warm := newMetricGP(nil, nil, nil, nil)
+	warm := newMetricGP(modelSpec{}, nil, nil, nil, nil)
 	if !warm.warmFrom([]*metricGP{donor}, 6, 25) {
 		t.Fatal("warmFrom declined")
 	}
 	if len(warm.vxs) != 6 {
 		t.Fatalf("virtual points = %d, want 6", len(warm.vxs))
 	}
-	if got, want := warm.g.NoiseVar, warm.baseNoise*25; math.Abs(got-want) > 1e-15 {
+	if got, want := warm.g.Noise(), warm.baseNoise*25; math.Abs(got-want) > 1e-15 {
 		t.Fatalf("inflated noise = %v, want %v", got, want)
 	}
 	// Conditioned on virtual points alone, the model already tracks the
@@ -55,8 +55,8 @@ func TestMetricGPWarmLifecycle(t *testing.T) {
 	if len(warm.vxs) != 0 {
 		t.Fatalf("virtual set not retired: %d points", len(warm.vxs))
 	}
-	if warm.g.NoiseVar != warm.baseNoise {
-		t.Fatalf("noise floor %v not restored to %v", warm.g.NoiseVar, warm.baseNoise)
+	if warm.g.Noise() != warm.baseNoise {
+		t.Fatalf("noise floor %v not restored to %v", warm.g.Noise(), warm.baseNoise)
 	}
 	if got := warm.mean(cfg); math.Abs(got-truth)/truth > 0.1 {
 		t.Fatalf("post-retirement mean %v vs truth %v", got, truth)
@@ -64,13 +64,13 @@ func TestMetricGPWarmLifecycle(t *testing.T) {
 }
 
 func TestMetricGPWarmFromDeclines(t *testing.T) {
-	donor := newMetricGP(nil, nil, nil, nil)
-	conditioned := newMetricGP(nil, nil, nil, nil)
+	donor := newMetricGP(modelSpec{}, nil, nil, nil, nil)
+	conditioned := newMetricGP(modelSpec{}, nil, nil, nil, nil)
 	conditioned.add([]float64{0, 0, 1}, 1)
 	if conditioned.warmFrom([]*metricGP{donor}, 4, 25) {
 		t.Error("model holding data accepted a warm start")
 	}
-	if fresh := newMetricGP(nil, nil, nil, nil); fresh.warmFrom(nil, 4, 25) {
+	if fresh := newMetricGP(modelSpec{}, nil, nil, nil, nil); fresh.warmFrom(nil, 4, 25) {
 		t.Error("warm start with no donors succeeded")
 	}
 }
@@ -79,13 +79,13 @@ func TestBankDonorsDeterministicAndFiltered(t *testing.T) {
 	bank := NewBank()
 	clips := videosim.StandardClips(4, 42)
 	withData := func() *clipModels {
-		cm := newClipModels(nil, nil, nil, nil)
+		cm := newClipModels(modelSpec{}, nil, nil, nil, nil)
 		cm.m[mAcc].add([]float64{0, 0, 1}, 1)
 		return cm
 	}
 	bank.put(clips[0], withData())
 	bank.put(clips[1], withData())
-	bank.put(clips[2], newClipModels(nil, nil, nil, nil)) // no data: never a donor
+	bank.put(clips[2], newClipModels(modelSpec{}, nil, nil, nil, nil)) // no data: never a donor
 
 	got := bank.donors(clips[3], 3)
 	if len(got) != 2 {
